@@ -1,0 +1,167 @@
+//! Criterion micro-benchmarks for the hot paths of the simulator and the
+//! Llumnix policy logic: the event queue, the block manager, virtual-usage /
+//! freeness computation, the cost model, trace generation, and a full
+//! two-instance live migration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use llumnix_core::{engine_freeness, HeadroomConfig};
+use llumnix_engine::{
+    BlockManager, EngineConfig, InstanceEngine, InstanceId, PriorityPair, RequestId, RequestMeta,
+};
+use llumnix_migration::{MigrationConfig, MigrationCoordinator, StageOutcome, StartOutcome};
+use llumnix_model::{CalibratedCostModel, CostModel, DecodeBatch, InstanceSpec};
+use llumnix_sim::{EventQueue, SimRng, SimTime};
+use llumnix_workload::{presets, Arrivals};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.push(SimTime::from_micros((i * 7919) % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_block_manager(c: &mut Criterion) {
+    c.bench_function("block_manager_churn", |b| {
+        b.iter(|| {
+            let mut bm = BlockManager::new(851);
+            for round in 0..50u64 {
+                for i in 0..10u64 {
+                    let _ = bm.allocate(RequestId(round * 10 + i), 16);
+                }
+                for i in 0..10u64 {
+                    let _ = bm.grow(RequestId(round * 10 + i), 4);
+                    let _ = bm.release(RequestId(round * 10 + i));
+                }
+            }
+            black_box(bm.free_blocks())
+        })
+    });
+}
+
+fn bench_freeness(c: &mut Criterion) {
+    // A loaded instance: 32 running requests plus a queue.
+    let mut engine = InstanceEngine::new(
+        InstanceId(0),
+        InstanceSpec::llama_7b_a10(),
+        EngineConfig::default(),
+    );
+    let mut now = SimTime::ZERO;
+    for i in 0..32u64 {
+        engine.add_request(
+            RequestMeta {
+                id: RequestId(i),
+                input_len: 256,
+                output_len: 512,
+                priority: PriorityPair::NORMAL,
+                arrival: now,
+            },
+            now,
+        );
+    }
+    while let Some(plan) = engine.poll_step(now) {
+        now = plan.finish_at();
+        engine.complete_step(now);
+        if engine.batch_size() == 32 {
+            break;
+        }
+    }
+    let headroom = HeadroomConfig::paper_default();
+    c.bench_function("freeness_32_requests", |b| {
+        b.iter(|| {
+            black_box(engine_freeness(
+                &engine,
+                false,
+                SimTime::from_secs(60),
+                &headroom,
+            ))
+        })
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let m = CalibratedCostModel::llama_7b_a10();
+    c.bench_function("decode_step_cost", |b| {
+        b.iter(|| {
+            black_box(m.decode_step(DecodeBatch {
+                num_seqs: black_box(32),
+                total_tokens: black_box(8_192),
+            }))
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("generate_mm_trace_1k", |b| {
+        let spec = presets::by_name("M-M", 1_000, Arrivals::poisson(8.0)).expect("preset");
+        b.iter(|| black_box(spec.generate(&SimRng::new(7))))
+    });
+}
+
+fn bench_migration_roundtrip(c: &mut Criterion) {
+    c.bench_function("live_migration_roundtrip", |b| {
+        b.iter(|| {
+            let spec = InstanceSpec::llama_7b_a10();
+            let mut src = InstanceEngine::new(InstanceId(0), spec.clone(), EngineConfig::default());
+            let mut dst = InstanceEngine::new(InstanceId(1), spec, EngineConfig::default());
+            src.add_request(
+                RequestMeta {
+                    id: RequestId(1),
+                    input_len: 2_048,
+                    output_len: 512,
+                    priority: PriorityPair::NORMAL,
+                    arrival: SimTime::ZERO,
+                },
+                SimTime::ZERO,
+            );
+            let p = src.poll_step(SimTime::ZERO).expect("prefill");
+            let mut now = p.finish_at();
+            src.complete_step(now);
+            let mut coord = MigrationCoordinator::new(MigrationConfig::default());
+            let StartOutcome::Started { id, stage_done_at } =
+                coord.start(RequestId(1), &mut src, &mut dst, now)
+            else {
+                unreachable!("refused")
+            };
+            while now < stage_done_at {
+                let plan = src.poll_step(now).expect("decode");
+                now = plan.finish_at();
+                src.complete_step(now);
+            }
+            let commit_at = match coord
+                .on_stage_done(id, &mut src, &mut dst, stage_done_at)
+                .expect("active")
+            {
+                StageOutcome::FinalCopy { commit_at } => commit_at,
+                StageOutcome::DrainRequested => {
+                    src.complete_step(now);
+                    coord
+                        .on_drained(RequestId(1), &mut src, now)
+                        .expect("drain")
+                        .1
+                }
+                other => unreachable!("{other:?}"),
+            };
+            black_box(coord.on_commit(id, &mut src, &mut dst, commit_at))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_block_manager,
+    bench_freeness,
+    bench_cost_model,
+    bench_trace_generation,
+    bench_migration_roundtrip,
+);
+criterion_main!(benches);

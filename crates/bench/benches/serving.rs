@@ -1,0 +1,37 @@
+//! Criterion benchmarks of full serving simulations — one per scheduler —
+//! so regressions in the end-to-end event loop show up in `cargo bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use llumnix_core::{run_serving, SchedulerKind, ServingConfig};
+use llumnix_sim::SimRng;
+use llumnix_workload::{presets, Arrivals, Trace};
+
+fn small_trace() -> Trace {
+    presets::by_name("M-M", 500, Arrivals::poisson(8.0))
+        .expect("preset")
+        .generate(&SimRng::new(42))
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut group = c.benchmark_group("serving_500req_16inst");
+    group.sample_size(10);
+    for kind in [
+        SchedulerKind::RoundRobin,
+        SchedulerKind::InfaasPlusPlus,
+        SchedulerKind::LlumnixBase,
+        SchedulerKind::Llumnix,
+        SchedulerKind::Centralized,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                let out = run_serving(ServingConfig::new(k, 16), trace.clone());
+                black_box(out.records.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

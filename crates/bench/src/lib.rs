@@ -1,0 +1,193 @@
+//! Shared harness code for the per-figure benchmark binaries.
+//!
+//! Each `figNN_*` binary regenerates one table or figure from the paper:
+//! it builds the paper's workload, runs every scheduler arm through the
+//! serving simulation, prints an aligned table mirroring the figure's
+//! series, and (with `--json <path>`) dumps machine-readable rows.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use llumnix_core::{run_serving, SchedulerKind, ServingConfig, ServingOutput};
+use llumnix_metrics::LatencyReport;
+use llumnix_sim::SimRng;
+use llumnix_workload::{presets, Arrivals, Trace};
+use serde::Serialize;
+
+/// Default experiment seed; every binary accepts `--seed N` to change it.
+pub const DEFAULT_SEED: u64 = 20240710;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Experiment seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Scale factor on request counts (use < 1.0 for quick runs).
+    pub scale: f64,
+}
+
+impl BenchOpts {
+    /// Parses `--seed`, `--json`, and `--scale` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = BenchOpts {
+            seed: DEFAULT_SEED,
+            json: None,
+            scale: 1.0,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().unwrap_or(DEFAULT_SEED);
+                    i += 2;
+                }
+                "--json" if i + 1 < args.len() => {
+                    opts.json = Some(args[i + 1].clone());
+                    i += 2;
+                }
+                "--scale" if i + 1 < args.len() => {
+                    opts.scale = args[i + 1].parse().unwrap_or(1.0);
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        opts
+    }
+
+    /// Applies the scale factor to a request count.
+    pub fn scaled(&self, n: usize) -> usize {
+        ((n as f64 * self.scale) as usize).max(10)
+    }
+
+    /// Writes rows as JSON if `--json` was given.
+    pub fn maybe_write_json<T: Serialize>(&self, rows: &T) {
+        if let Some(path) = &self.json {
+            let body = llumnix_metrics::to_json(rows);
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// One experiment arm's flattened results (a row in the JSON output).
+#[derive(Debug, Clone, Serialize)]
+pub struct ArmResult {
+    /// Trace name.
+    pub trace: String,
+    /// Request rate (req/s).
+    pub rate: f64,
+    /// Gamma CV (1.0 for Poisson).
+    pub cv: f64,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Latency aggregates.
+    pub report: LatencyReport,
+    /// Migrations committed.
+    pub migrations: u64,
+    /// Total preemptions.
+    pub preemptions: u64,
+    /// Time-weighted average instances (cost).
+    pub avg_instances: f64,
+    /// Mean fragmentation proportion.
+    pub fragmentation_mean: f64,
+    /// Wall-clock seconds the simulation took.
+    pub sim_wall_secs: f64,
+}
+
+/// Runs one scheduler arm over a trace and flattens the results.
+pub fn run_arm(
+    config: ServingConfig,
+    trace: Trace,
+    rate: f64,
+    cv: f64,
+) -> (ArmResult, ServingOutput) {
+    let trace_name = trace.name.clone();
+    let scheduler = config.scheduler;
+    let started = Instant::now();
+    let out = run_serving(config, trace);
+    let wall = started.elapsed().as_secs_f64();
+    let report = LatencyReport::from_records(&out.records);
+    (
+        ArmResult {
+            trace: trace_name,
+            rate,
+            cv,
+            scheduler: scheduler.label().to_string(),
+            migrations: out.migration_stats.committed,
+            preemptions: report.total_preemptions,
+            report,
+            avg_instances: out.avg_instances,
+            fragmentation_mean: out.fragmentation.mean(),
+            sim_wall_secs: wall,
+        },
+        out,
+    )
+}
+
+/// Builds one of the paper's named traces (`S-S`, `M-M`, …, `ShareGPT`).
+///
+/// # Panics
+///
+/// Panics on unknown names — the binaries only pass presets.
+pub fn build_trace(
+    name: &str,
+    n: usize,
+    arrivals: Arrivals,
+    high_priority_fraction: f64,
+    seed: u64,
+) -> Trace {
+    presets::by_name(name, n, arrivals)
+        .unwrap_or_else(|| panic!("unknown trace preset {name}"))
+        .with_high_priority_fraction(high_priority_fraction)
+        .generate(&SimRng::new(seed))
+}
+
+/// The standard three-scheduler comparison of Figure 11.
+pub const FIG11_SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::RoundRobin,
+    SchedulerKind::InfaasPlusPlus,
+    SchedulerKind::Llumnix,
+];
+
+/// Formats a `Summary` as `mean / p99` seconds.
+pub fn mean_p99(s: &llumnix_metrics::Summary) -> String {
+    format!(
+        "{} / {}",
+        llumnix_metrics::fmt_secs(s.mean),
+        llumnix_metrics::fmt_secs(s.p99)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llumnix_model::InstanceSpec;
+
+    #[test]
+    fn arm_runs_end_to_end() {
+        let trace = build_trace("S-S", 60, Arrivals::poisson(3.0), 0.0, 1);
+        let config = ServingConfig::new(SchedulerKind::Llumnix, 2)
+            .with_spec(InstanceSpec::tiny_for_tests(4096));
+        let (arm, out) = run_arm(config, trace, 3.0, 1.0);
+        assert_eq!(arm.scheduler, "llumnix");
+        assert_eq!(arm.rate, 3.0);
+        assert!(arm.report.e2e.count + out.aborted as usize == 60);
+    }
+
+    #[test]
+    fn scaled_counts() {
+        let opts = BenchOpts {
+            seed: 1,
+            json: None,
+            scale: 0.1,
+        };
+        assert_eq!(opts.scaled(10_000), 1_000);
+        assert_eq!(opts.scaled(50), 10, "floor at 10");
+    }
+}

@@ -1,0 +1,139 @@
+//! Centralized-scheduler stall model for the §6.6 scalability baseline.
+//!
+//! The paper's baseline extends the vLLM scheduler to manage every request
+//! across all instances: before each iteration an instance synchronizes
+//! request statuses and scheduling decisions with the central scheduler,
+//! which serializes that work. We model the scheduler as a single FIFO
+//! server whose per-decision service time grows with the number of requests
+//! it must synchronize; the stall an instance observes is the queueing delay
+//! plus its own service time. Llumnix's distributed llumlets do this work
+//! locally and report only instance-level metrics, so their stall is zero.
+
+use llumnix_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Cost parameters of the centralized scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CentralSchedulerModel {
+    /// Fixed cost per scheduling round trip (RPC + bookkeeping).
+    pub base: SimDuration,
+    /// Marginal cost per request whose status must be synchronized.
+    pub per_request: SimDuration,
+}
+
+impl Default for CentralSchedulerModel {
+    fn default() -> Self {
+        CentralSchedulerModel {
+            base: SimDuration::from_micros(150),
+            per_request: SimDuration::from_micros(25),
+        }
+    }
+}
+
+/// The single-server FIFO queue the centralized scheduler forms.
+#[derive(Debug, Clone)]
+pub struct CentralScheduler {
+    model: CentralSchedulerModel,
+    free_at: SimTime,
+    total_stall: SimDuration,
+    decisions: u64,
+    max_stall: SimDuration,
+}
+
+impl CentralScheduler {
+    /// Creates an idle scheduler.
+    pub fn new(model: CentralSchedulerModel) -> Self {
+        CentralScheduler {
+            model,
+            free_at: SimTime::ZERO,
+            total_stall: SimDuration::ZERO,
+            decisions: 0,
+            max_stall: SimDuration::ZERO,
+        }
+    }
+
+    /// An instance asks for its pre-iteration scheduling decision at `now`,
+    /// synchronizing `tracked_requests` request statuses. Returns the stall
+    /// the instance observes before its step may start.
+    pub fn request_decision(&mut self, now: SimTime, tracked_requests: usize) -> SimDuration {
+        let service = self.model.base + self.model.per_request * tracked_requests as u64;
+        let start = if self.free_at > now {
+            self.free_at
+        } else {
+            now
+        };
+        self.free_at = start + service;
+        let stall = self.free_at.since(now);
+        self.total_stall += stall;
+        self.decisions += 1;
+        self.max_stall = self.max_stall.max(stall);
+        stall
+    }
+
+    /// Mean stall per decision.
+    pub fn mean_stall(&self) -> SimDuration {
+        if self.decisions == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_stall / self.decisions
+        }
+    }
+
+    /// Largest stall observed.
+    pub fn max_stall(&self) -> SimDuration {
+        self.max_stall
+    }
+
+    /// Number of decisions served.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_scheduler_costs_service_only() {
+        let mut c = CentralScheduler::new(CentralSchedulerModel::default());
+        let stall = c.request_decision(SimTime::from_secs(1), 20);
+        // 150 µs + 20 × 25 µs = 650 µs.
+        assert_eq!(stall, SimDuration::from_micros(650));
+        assert_eq!(c.decisions(), 1);
+    }
+
+    #[test]
+    fn contention_builds_queueing_delay() {
+        let mut c = CentralScheduler::new(CentralSchedulerModel::default());
+        let now = SimTime::from_secs(1);
+        // 64 instances all asking at the same instant: the last one queues
+        // behind 63 service times.
+        let stalls: Vec<SimDuration> = (0..64).map(|_| c.request_decision(now, 20)).collect();
+        assert!(stalls.windows(2).all(|w| w[0] < w[1]));
+        let last = stalls.last().expect("non-empty");
+        assert_eq!(*last, SimDuration::from_micros(650 * 64));
+        assert!(
+            last.as_millis_f64() > 40.0,
+            "64-way contention should stall tens of ms, got {last}"
+        );
+        assert_eq!(c.max_stall(), *last);
+    }
+
+    #[test]
+    fn drains_when_spread_out() {
+        let mut c = CentralScheduler::new(CentralSchedulerModel::default());
+        // Requests 10 ms apart never queue.
+        for i in 0..10 {
+            let stall = c.request_decision(SimTime::from_millis(10 * i), 10);
+            assert_eq!(stall, SimDuration::from_micros(400));
+        }
+        assert_eq!(c.mean_stall(), SimDuration::from_micros(400));
+    }
+
+    #[test]
+    fn empty_scheduler_mean_is_zero() {
+        let c = CentralScheduler::new(CentralSchedulerModel::default());
+        assert_eq!(c.mean_stall(), SimDuration::ZERO);
+    }
+}

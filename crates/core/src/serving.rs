@@ -1,0 +1,1084 @@
+//! The end-to-end serving simulation.
+//!
+//! [`ServingSim`] binds a workload trace, a cluster of engine instances
+//! (wrapped in llumlets), the migration coordinator, and a scheduling policy
+//! into one deterministic event-driven run. Every benchmark binary, example,
+//! and integration test drives experiments through this type.
+//!
+//! The event loop mirrors the paper's architecture (§4.3): the global
+//! scheduler dispatches new requests to the freest instance, periodically
+//! pairs migration sources with destinations by freeness, and auto-scales on
+//! the cluster-average freeness; llumlets make all per-request decisions
+//! locally (admission, preemption, victim selection) and execute migrations
+//! through the Figure 7 handshake.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use llumnix_engine::{
+    EngineConfig, EngineEvent, InstanceEngine, InstanceId, PriorityPair, RequestId, RequestMeta,
+    SeqState,
+};
+use llumnix_metrics::{RecordPriority, RequestRecord, Summary, TimeSeries};
+use llumnix_migration::{
+    AbortReason, CoordinatorStats, MigrationConfig, MigrationCoordinator, MigrationId,
+    StageOutcome, StartOutcome,
+};
+use llumnix_model::InstanceSpec;
+use llumnix_sim::{EventQueue, SimDuration, SimTime};
+use llumnix_workload::Trace;
+
+use crate::central::{CentralScheduler, CentralSchedulerModel};
+use crate::llumlet::Llumlet;
+use crate::policy::{
+    pair_migrations, AutoScaleConfig, AutoScaler, Dispatcher, LoadReport, MigrationThresholds,
+    ScaleAction, SchedulerKind, VictimPolicy,
+};
+use crate::virtual_usage::HeadroomConfig;
+
+/// Injected failures (§5's fault-tolerance behaviours).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureSpec {
+    /// An instance (and its llumlet) fails at `at`; running requests abort,
+    /// in-flight migrations touching it abort per the handshake rules. If
+    /// `restart_after` is set, a replacement instance launches that much
+    /// later (Ray restarting the actor).
+    Instance {
+        /// The failing instance.
+        instance: InstanceId,
+        /// When it fails.
+        at: SimTime,
+        /// Optional replacement delay.
+        restart_after: Option<SimDuration>,
+    },
+    /// The global scheduler fails at `at` for `duration`: the frontends fall
+    /// back to scheduler-bypass round-robin dispatch and migration pauses.
+    GlobalScheduler {
+        /// When it fails.
+        at: SimTime,
+        /// How long until it recovers.
+        duration: SimDuration,
+    },
+}
+
+/// Full configuration of a serving run.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Scheduling policy under test.
+    pub scheduler: SchedulerKind,
+    /// Instance type for every instance.
+    pub spec: InstanceSpec,
+    /// Engine tunables.
+    pub engine: EngineConfig,
+    /// Migration tunables.
+    pub migration: MigrationConfig,
+    /// Instances at t = 0.
+    pub initial_instances: u32,
+    /// Execution-priority headroom (only honored by `Llumnix`).
+    pub headroom: HeadroomConfig,
+    /// How often migration pairing re-runs.
+    pub migration_interval: SimDuration,
+    /// Freeness thresholds for pairing.
+    pub migration_thresholds: MigrationThresholds,
+    /// Which request a source llumlet migrates out first.
+    pub victim_policy: VictimPolicy,
+    /// Auto-scaling configuration, if enabled.
+    pub autoscale: Option<AutoScaleConfig>,
+    /// Timeline sampling (and scaling-observation) interval.
+    pub sample_interval: SimDuration,
+    /// Centralized-scheduler stall model (used by `Centralized` only).
+    pub central: CentralSchedulerModel,
+    /// Injected failures.
+    pub failures: Vec<FailureSpec>,
+    /// Hard wall-clock cap on the simulation (guards runaway configs).
+    pub max_sim_time: SimTime,
+}
+
+impl ServingConfig {
+    /// A sensible default: `n` LLaMA-7B instances, no auto-scaling.
+    pub fn new(scheduler: SchedulerKind, n: u32) -> Self {
+        ServingConfig {
+            scheduler,
+            spec: InstanceSpec::llama_7b_a10(),
+            engine: EngineConfig::default(),
+            migration: MigrationConfig::default(),
+            initial_instances: n,
+            headroom: if scheduler.uses_priorities() {
+                HeadroomConfig::paper_default()
+            } else {
+                HeadroomConfig::DISABLED
+            },
+            migration_interval: SimDuration::from_millis(100),
+            migration_thresholds: MigrationThresholds::default(),
+            victim_policy: VictimPolicy::default(),
+            autoscale: None,
+            sample_interval: SimDuration::from_secs(1),
+            central: CentralSchedulerModel::default(),
+            failures: Vec::new(),
+            max_sim_time: SimTime::from_secs(24 * 3600),
+        }
+    }
+
+    /// Enables auto-scaling.
+    pub fn with_autoscale(mut self, cfg: AutoScaleConfig) -> Self {
+        self.autoscale = Some(cfg);
+        self
+    }
+
+    /// Uses a different instance spec.
+    pub fn with_spec(mut self, spec: InstanceSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+}
+
+/// Everything measured by one serving run.
+#[derive(Debug, Clone)]
+pub struct ServingOutput {
+    /// Scheduler that produced this output.
+    pub scheduler: SchedulerKind,
+    /// One record per completed request.
+    pub records: Vec<RequestRecord>,
+    /// Requests aborted (admission-impossible or instance failure).
+    pub aborted: u64,
+    /// Fragmented-memory proportion over time (Figure 12's definition).
+    pub fragmentation: TimeSeries,
+    /// Total free blocks over time (Figure 5).
+    pub free_blocks: TimeSeries,
+    /// Head-of-line demands satisfiable by total free memory (Figure 5).
+    pub hol_satisfiable: TimeSeries,
+    /// Total queued requests over time.
+    pub queued: TimeSeries,
+    /// Alive instance count over time (cost metric, Figures 14/15).
+    pub instances: TimeSeries,
+    /// Time-weighted average instance count.
+    pub avg_instances: f64,
+    /// Migration counters.
+    pub migration_stats: CoordinatorStats,
+    /// Scheduling-stall summary per engine step, in seconds (Figure 16).
+    pub stalls: Summary,
+    /// Batch sizes of decode steps that contained a high-execution-priority
+    /// request (diagnostic for the §6.4 isolation mechanism).
+    pub high_step_batches: Summary,
+    /// When the last request finished.
+    pub makespan: SimTime,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    Arrival(usize),
+    StepDone(InstanceId),
+    MigrationStage(MigrationId),
+    MigrationCommit(MigrationId),
+    MigrationTick,
+    Sample,
+    Fail(usize),
+    GlobalRecover,
+    InstanceRestart,
+}
+
+/// The running simulation.
+pub struct ServingSim {
+    config: ServingConfig,
+    trace: Trace,
+    high_ids: HashSet<u64>,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    llumlets: HashMap<InstanceId, Llumlet>,
+    order: Vec<InstanceId>,
+    next_instance: u32,
+    dispatcher: Dispatcher,
+    bypass_dispatcher: Dispatcher,
+    coordinator: MigrationCoordinator,
+    pairs: HashMap<InstanceId, InstanceId>,
+    scaler: Option<AutoScaler>,
+    central: CentralScheduler,
+    global_down: bool,
+    undispatched: VecDeque<usize>,
+    records: Vec<RequestRecord>,
+    aborted: u64,
+    stall_samples: Vec<f64>,
+    fragmentation: TimeSeries,
+    free_blocks: TimeSeries,
+    hol_satisfiable: TimeSeries,
+    queued: TimeSeries,
+    instances_ts: TimeSeries,
+    arrivals_done: bool,
+    makespan: SimTime,
+    high_step_batches: Vec<f64>,
+}
+
+impl ServingSim {
+    /// Builds a simulation over `trace`.
+    pub fn new(config: ServingConfig, trace: Trace) -> Self {
+        assert!(config.initial_instances > 0, "need at least one instance");
+        let high_ids = trace
+            .requests
+            .iter()
+            .filter(|r| r.high_priority)
+            .map(|r| r.id)
+            .collect();
+        let mut sim = ServingSim {
+            coordinator: MigrationCoordinator::new(config.migration.clone()),
+            central: CentralScheduler::new(config.central),
+            scaler: config.autoscale.map(AutoScaler::new),
+            config,
+            trace,
+            high_ids,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            llumlets: HashMap::new(),
+            order: Vec::new(),
+            next_instance: 0,
+            dispatcher: Dispatcher::new(),
+            bypass_dispatcher: Dispatcher::new(),
+            pairs: HashMap::new(),
+            global_down: false,
+            undispatched: VecDeque::new(),
+            records: Vec::new(),
+            aborted: 0,
+            stall_samples: Vec::new(),
+            fragmentation: TimeSeries::new("fragmentation"),
+            free_blocks: TimeSeries::new("free_blocks"),
+            hol_satisfiable: TimeSeries::new("hol_satisfiable"),
+            queued: TimeSeries::new("queued"),
+            instances_ts: TimeSeries::new("instances"),
+            arrivals_done: false,
+            makespan: SimTime::ZERO,
+            high_step_batches: Vec::new(),
+        };
+        for _ in 0..sim.config.initial_instances {
+            sim.launch_instance(SimTime::ZERO, None);
+        }
+        sim
+    }
+
+    /// Runs the simulation to completion and returns the measurements.
+    pub fn run(mut self) -> ServingOutput {
+        if self.trace.is_empty() {
+            return self.into_output();
+        }
+        self.queue
+            .push(self.trace.requests[0].arrival, Event::Arrival(0));
+        self.queue
+            .push(SimTime::ZERO + self.config.sample_interval, Event::Sample);
+        if self.config.scheduler.uses_migration() {
+            self.queue.push(
+                SimTime::ZERO + self.config.migration_interval,
+                Event::MigrationTick,
+            );
+        }
+        for (i, f) in self.config.failures.clone().into_iter().enumerate() {
+            let at = match f {
+                FailureSpec::Instance { at, .. } => at,
+                FailureSpec::GlobalScheduler { at, .. } => at,
+            };
+            self.queue.push(at, Event::Fail(i));
+        }
+        while let Some((at, event)) = self.queue.pop() {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            if self.now > self.config.max_sim_time {
+                break;
+            }
+            self.handle(event);
+        }
+        self.into_output()
+    }
+
+    fn into_output(self) -> ServingOutput {
+        let avg_instances = self.instances_ts.time_weighted_mean();
+        ServingOutput {
+            scheduler: self.config.scheduler,
+            records: self.records,
+            aborted: self.aborted,
+            fragmentation: self.fragmentation,
+            free_blocks: self.free_blocks,
+            hol_satisfiable: self.hol_satisfiable,
+            queued: self.queued,
+            instances: self.instances_ts,
+            avg_instances,
+            migration_stats: *self.coordinator.stats(),
+            stalls: Summary::from_samples(self.stall_samples),
+            high_step_batches: Summary::from_samples(self.high_step_batches),
+            makespan: self.makespan,
+        }
+    }
+
+    // ---- event handling ----------------------------------------------------
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Arrival(i) => self.on_arrival(i),
+            Event::StepDone(id) => self.on_step_done(id),
+            Event::MigrationStage(mid) => self.on_migration_stage(mid),
+            Event::MigrationCommit(mid) => self.on_migration_commit(mid),
+            Event::MigrationTick => self.on_migration_tick(),
+            Event::Sample => self.on_sample(),
+            Event::Fail(i) => self.on_failure(i),
+            Event::GlobalRecover => {
+                self.global_down = false;
+            }
+            Event::InstanceRestart => {
+                self.launch_instance(self.now, None);
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, index: usize) {
+        if index + 1 < self.trace.requests.len() {
+            self.queue.push(
+                self.trace.requests[index + 1].arrival,
+                Event::Arrival(index + 1),
+            );
+        } else {
+            self.arrivals_done = true;
+        }
+        self.dispatch(index);
+    }
+
+    fn dispatch(&mut self, index: usize) {
+        let reports = self.reports();
+        let r = self.trace.requests[index];
+        let high = self.config.scheduler.uses_priorities() && r.high_priority;
+        let target = if self.global_down {
+            // Scheduler-bypass mode (§5): frontends use a simple round-robin
+            // rule directly.
+            self.bypass_dispatcher
+                .dispatch(SchedulerKind::RoundRobin, &reports)
+        } else {
+            self.dispatcher
+                .dispatch_for(self.config.scheduler, &reports, high)
+        };
+        let Some(target) = target else {
+            self.undispatched.push_back(index);
+            return;
+        };
+        let priority = if high {
+            PriorityPair::HIGH
+        } else {
+            PriorityPair::NORMAL
+        };
+        let meta = RequestMeta {
+            id: RequestId(r.id),
+            input_len: r.input_len,
+            output_len: r.output_len,
+            priority,
+            arrival: r.arrival,
+        };
+        let llumlet = self.llumlets.get_mut(&target).expect("dispatch target");
+        llumlet.engine.add_request(meta, self.now);
+        self.kick(target);
+    }
+
+    fn on_step_done(&mut self, id: InstanceId) {
+        let Some(llumlet) = self.llumlets.get_mut(&id) else {
+            return; // Instance failed mid-step.
+        };
+        let events = llumlet.engine.complete_step(self.now);
+        self.collect_finished(id);
+        self.route_engine_events(id, events);
+        self.kick(id);
+    }
+
+    fn route_engine_events(&mut self, id: InstanceId, events: Vec<EngineEvent>) {
+        for ev in events {
+            match ev {
+                EngineEvent::FirstToken(_) => {}
+                EngineEvent::Finished(req) => {
+                    self.abort_migration_of(req, AbortReason::RequestFinished);
+                }
+                EngineEvent::Preempted(req) => {
+                    self.abort_migration_of(req, AbortReason::RequestPreempted);
+                }
+                EngineEvent::Drained(req) => {
+                    let llumlet = self.llumlets.get_mut(&id).expect("drain source alive");
+                    match self
+                        .coordinator
+                        .on_drained(req, &mut llumlet.engine, self.now)
+                    {
+                        Some((mid, commit_at)) => {
+                            self.queue.push(commit_at, Event::MigrationCommit(mid));
+                        }
+                        None => {
+                            // The migration that requested this drain was
+                            // aborted in the meantime; resume the request.
+                            llumlet.engine.undrain(req);
+                        }
+                    }
+                }
+                EngineEvent::Aborted(_) => {
+                    self.aborted += 1;
+                }
+            }
+        }
+    }
+
+    fn on_migration_stage(&mut self, mid: MigrationId) {
+        let Some((src, dst)) = self.coordinator.endpoints(mid) else {
+            return; // Aborted earlier; stale event.
+        };
+        let Some((se, de)) = two_engines(&mut self.llumlets, src, dst) else {
+            return;
+        };
+        let outcome = self.coordinator.on_stage_done(mid, se, de, self.now);
+        match outcome {
+            Some(StageOutcome::NextStage { copy_done_at }) => {
+                self.queue.push(copy_done_at, Event::MigrationStage(mid));
+            }
+            Some(StageOutcome::FinalCopy { commit_at }) => {
+                self.queue.push(commit_at, Event::MigrationCommit(mid));
+            }
+            Some(StageOutcome::DrainRequested) | None => {}
+            Some(StageOutcome::Aborted(_)) => {
+                // Space may have been released on the destination.
+                self.kick(dst);
+                self.kick(src);
+                self.continue_pair(src);
+            }
+        }
+    }
+
+    fn on_migration_commit(&mut self, mid: MigrationId) {
+        let Some((src, dst)) = self.coordinator.endpoints(mid) else {
+            return;
+        };
+        let Some((se, de)) = two_engines(&mut self.llumlets, src, dst) else {
+            return;
+        };
+        let committed = self.coordinator.on_commit(mid, se, de, self.now);
+        if committed.is_some() {
+            self.kick(dst);
+            self.kick(src);
+            self.continue_pair(src);
+            self.maybe_finish_termination(src);
+            self.maybe_finish_termination(dst);
+        }
+    }
+
+    fn on_migration_tick(&mut self) {
+        if !self.global_down {
+            let reports = self.reports();
+            self.pairs = pair_migrations(&reports, self.config.migration_thresholds)
+                .into_iter()
+                .collect();
+            let sources: Vec<InstanceId> = self.pairs.keys().copied().collect();
+            for src in sources {
+                self.continue_pair(src);
+            }
+        }
+        if !self.finished_serving() {
+            self.queue.push(
+                self.now + self.config.migration_interval,
+                Event::MigrationTick,
+            );
+        }
+    }
+
+    /// Starts the next migration from `src` if its pair is set and it has no
+    /// migration in flight (llumlets migrate continuously, one at a time).
+    fn continue_pair(&mut self, src: InstanceId) {
+        let Some(&dst) = self.pairs.get(&src) else {
+            return;
+        };
+        if !self.coordinator.migrating_from(src).is_empty() {
+            return;
+        }
+        let Some(llumlet) = self.llumlets.get(&src) else {
+            return;
+        };
+        let coordinator = &self.coordinator;
+        let Some(victim) = llumlet.select_migration_victim_with(self.config.victim_policy, |id| {
+            coordinator.is_migrating(id)
+        }) else {
+            return;
+        };
+        let Some((se, de)) = two_engines(&mut self.llumlets, src, dst) else {
+            return;
+        };
+        match self.coordinator.start(victim, se, de, self.now) {
+            StartOutcome::Started { id, stage_done_at } => {
+                self.queue.push(stage_done_at, Event::MigrationStage(id));
+            }
+            StartOutcome::Refused(_) => {}
+        }
+    }
+
+    fn on_sample(&mut self) {
+        self.sample_timelines();
+        self.autoscale();
+        self.retry_undispatched();
+        // Safety net: kick everything (cheap at the sampling rate).
+        for id in self.order.clone() {
+            self.kick(id);
+        }
+        if !self.finished_serving() {
+            self.queue
+                .push(self.now + self.config.sample_interval, Event::Sample);
+        }
+    }
+
+    fn on_failure(&mut self, index: usize) {
+        match self.config.failures[index] {
+            FailureSpec::Instance {
+                instance,
+                restart_after,
+                ..
+            } => {
+                self.fail_instance(instance);
+                if let Some(delay) = restart_after {
+                    self.queue.push(self.now + delay, Event::InstanceRestart);
+                }
+            }
+            FailureSpec::GlobalScheduler { duration, .. } => {
+                self.global_down = true;
+                self.queue.push(self.now + duration, Event::GlobalRecover);
+            }
+        }
+    }
+
+    fn fail_instance(&mut self, id: InstanceId) {
+        if !self.llumlets.contains_key(&id) {
+            return;
+        }
+        // Abort migrations touching the failed instance first, handing the
+        // coordinator the surviving peers.
+        let mut peers: HashMap<InstanceId, &mut InstanceEngine> = HashMap::new();
+        for (iid, l) in self.llumlets.iter_mut() {
+            if *iid != id {
+                peers.insert(*iid, &mut l.engine);
+            }
+        }
+        let aborted_migrations = self.coordinator.abort_for_failed_instance(id, &mut peers);
+        drop(peers);
+        let llumlet = self.llumlets.remove(&id).expect("checked above");
+        self.order.retain(|&i| i != id);
+        self.pairs.remove(&id);
+        self.pairs.retain(|_, d| *d != id);
+        // Requests resident on or queued at the failed instance abort (§5);
+        // a request mid-migration *out of* it dies with it too, while one
+        // migrating *into* it survives on its still-healthy source.
+        let lost = llumlet.engine.tracked_requests();
+        self.aborted += lost as u64;
+        let _ = aborted_migrations;
+        self.sample_instances();
+    }
+
+    // ---- helpers -----------------------------------------------------------
+
+    fn launch_instance(&mut self, now: SimTime, startup: Option<SimDuration>) -> InstanceId {
+        let id = InstanceId(self.next_instance);
+        self.next_instance += 1;
+        let engine = InstanceEngine::new(id, self.config.spec.clone(), self.config.engine.clone());
+        let starting_until = startup.map(|d| now + d);
+        self.llumlets
+            .insert(id, Llumlet::new(engine, now, starting_until));
+        self.order.push(id);
+        self.sample_instances();
+        id
+    }
+
+    fn reports(&self) -> Vec<LoadReport> {
+        let headroom = self.effective_headroom();
+        self.order
+            .iter()
+            .map(|id| self.llumlets[id].report(self.now, &headroom))
+            .collect()
+    }
+
+    fn effective_headroom(&self) -> HeadroomConfig {
+        if self.config.scheduler.uses_priorities() {
+            self.config.headroom
+        } else {
+            // Priority headroom off, but the queuing-demand rule (a
+            // priority-independent policy knob) stays in force.
+            HeadroomConfig::DISABLED.with_queuing_rule(self.config.headroom.queuing_rule)
+        }
+    }
+
+    /// Polls an instance for its next step and schedules its completion.
+    fn kick(&mut self, id: InstanceId) {
+        let Some(llumlet) = self.llumlets.get_mut(&id) else {
+            return;
+        };
+        if llumlet.is_starting(self.now) {
+            return;
+        }
+        if let Some(plan) = llumlet.engine.poll_step(self.now) {
+            if let llumnix_engine::StepKind::Decode(ids) = &plan.kind {
+                let has_high = ids.iter().any(|r| {
+                    llumlet.engine.state(*r).is_some_and(|s| {
+                        s.meta.priority.execution == llumnix_engine::Priority::High
+                    })
+                });
+                if has_high {
+                    self.high_step_batches.push(ids.len() as f64);
+                }
+            }
+            let mut finish = plan.finish_at();
+            if self.config.scheduler.has_central_stalls() {
+                let tracked = llumlet.engine.batch_size() + llumlet.engine.waiting_len();
+                let stall = self.central.request_decision(self.now, tracked);
+                self.stall_samples.push(stall.as_secs_f64());
+                finish += stall;
+            } else {
+                self.stall_samples.push(0.0);
+            }
+            self.queue.push(finish, Event::StepDone(id));
+        }
+        let pending = self
+            .llumlets
+            .get_mut(&id)
+            .expect("still present")
+            .engine
+            .take_pending_events();
+        if !pending.is_empty() {
+            self.route_engine_events(id, pending);
+        }
+        self.collect_finished(id);
+    }
+
+    fn collect_finished(&mut self, id: InstanceId) {
+        let Some(llumlet) = self.llumlets.get_mut(&id) else {
+            return;
+        };
+        let finished = llumlet.engine.take_finished();
+        for state in finished {
+            if state.aborted {
+                // Counted via the Aborted event; no latency record.
+                continue;
+            }
+            debug_assert!(state.first_token_at.is_some(), "completed without prefill");
+            let record = self.to_record(&state);
+            self.makespan = self.makespan.max(state.finished_at.unwrap_or(self.now));
+            self.records.push(record);
+        }
+        self.maybe_finish_termination(id);
+    }
+
+    fn to_record(&self, s: &SeqState) -> RequestRecord {
+        let priority = if self.high_ids.contains(&s.meta.id.0) {
+            RecordPriority::High
+        } else {
+            RecordPriority::Normal
+        };
+        RequestRecord {
+            id: s.meta.id.0,
+            priority,
+            input_len: s.meta.input_len,
+            output_len: s.generated,
+            arrival: s.meta.arrival,
+            first_token: s.first_token_at.expect("completed request"),
+            finish: s.finished_at.expect("completed request"),
+            preemptions: s.preemptions,
+            preemption_loss: s.preemption_loss,
+            migrations: s.migrations,
+            migration_downtime: s.migration_downtime,
+            decode_compute: s.decode_compute,
+            max_token_gap: s.max_token_gap,
+        }
+    }
+
+    fn abort_migration_of(&mut self, req: RequestId, reason: AbortReason) {
+        let Some((mid, src, dst)) = self.coordinator.lookup_by_request(req) else {
+            return;
+        };
+        if let Some((se, de)) = two_engines(&mut self.llumlets, src, dst) {
+            self.coordinator.abort(mid, se, de, reason);
+            self.kick(dst);
+        }
+    }
+
+    // ---- sampling & scaling -------------------------------------------------
+
+    fn sample_instances(&mut self) {
+        self.instances_ts.push(self.now, self.llumlets.len() as f64);
+    }
+
+    fn sample_timelines(&mut self) {
+        let total_free: u64 = self
+            .order
+            .iter()
+            .map(|id| self.llumlets[id].engine.free_blocks() as u64)
+            .sum();
+        let total_blocks: u64 = self
+            .order
+            .iter()
+            .map(|id| self.llumlets[id].engine.total_blocks() as u64)
+            .sum();
+        let mut hol: Vec<u64> = self
+            .order
+            .iter()
+            .filter_map(|id| {
+                self.llumlets[id]
+                    .engine
+                    .head_of_line_demand()
+                    .map(|(_, blocks)| blocks as u64)
+            })
+            .collect();
+        hol.sort_unstable();
+        // Figure 12's fragmented-memory definition: free memory that could
+        // satisfy head-of-line blocked requests if it were not fragmented.
+        let mut satisfiable = 0u64;
+        let mut fragmented = 0u64;
+        let mut budget = total_free;
+        for demand in &hol {
+            if *demand <= budget {
+                satisfiable += 1;
+                fragmented += demand;
+                budget -= demand;
+            } else {
+                break;
+            }
+        }
+        let frag_prop = if total_blocks == 0 {
+            0.0
+        } else {
+            fragmented as f64 / total_blocks as f64
+        };
+        let queued: usize = self
+            .order
+            .iter()
+            .map(|id| self.llumlets[id].engine.waiting_len())
+            .sum();
+        self.fragmentation.push(self.now, frag_prop);
+        self.free_blocks.push(self.now, total_free as f64);
+        self.hol_satisfiable.push(self.now, satisfiable as f64);
+        self.queued.push(self.now, queued as f64);
+        self.sample_instances();
+    }
+
+    fn autoscale(&mut self) {
+        if self.scaler.is_none() || self.global_down {
+            return;
+        }
+        let headroom = self.effective_headroom();
+        let scaler = self.scaler.as_mut().expect("checked above");
+        let serving: Vec<&Llumlet> = self
+            .order
+            .iter()
+            .map(|id| &self.llumlets[id])
+            .filter(|l| !l.terminating && !l.is_starting(self.now))
+            .collect();
+        if serving.is_empty() {
+            return;
+        }
+        let use_infaas = matches!(self.config.scheduler, SchedulerKind::InfaasPlusPlus);
+        // Clamp each instance's contribution so one near-empty instance
+        // (freeness = full capacity) cannot mask overload elsewhere.
+        let cap = scaler.config().freeness_high * 3.0;
+        let avg: f64 = serving
+            .iter()
+            .map(|l| {
+                let f = if use_infaas {
+                    crate::virtual_usage::infaas_equivalent_freeness(&l.engine)
+                } else {
+                    crate::virtual_usage::engine_freeness(&l.engine, false, self.now, &headroom)
+                };
+                f.min(cap)
+            })
+            .sum::<f64>()
+            / serving.len() as f64;
+        // Alive bounds scale-up (all paid capacity, draining included);
+        // active bounds scale-down (capacity not already being drained).
+        let alive = self.llumlets.len() as u32;
+        let active = self.llumlets.values().filter(|l| !l.terminating).count() as u32;
+        match scaler.observe_counts(avg, alive, active, self.now) {
+            Some(ScaleAction::Up) => {
+                let delay = scaler.config().startup_delay;
+                self.launch_instance(self.now, Some(delay));
+            }
+            Some(ScaleAction::Down) => self.begin_termination(),
+            None => {}
+        }
+    }
+
+    fn begin_termination(&mut self) {
+        // Terminate the serving instance with the fewest running requests.
+        let candidate = self
+            .order
+            .iter()
+            .filter(|id| {
+                let l = &self.llumlets[id];
+                !l.terminating && !l.is_starting(self.now)
+            })
+            .min_by_key(|id| (self.llumlets[id].engine.batch_size(), **id))
+            .copied();
+        let Some(id) = candidate else {
+            return;
+        };
+        let llumlet = self.llumlets.get_mut(&id).expect("candidate");
+        llumlet.terminating = true;
+        // Re-dispatch its queued requests; migration handles the running ones
+        // (the fake ∞ request makes it a permanent migration source).
+        let waiting = llumlet.engine.waiting_ids();
+        let mut metas = Vec::new();
+        for w in waiting {
+            if let Some(state) = llumlet.engine.abort_request(w) {
+                metas.push(state.meta);
+            }
+        }
+        for meta in metas {
+            self.redispatch(meta);
+        }
+        self.maybe_finish_termination(id);
+    }
+
+    fn redispatch(&mut self, meta: RequestMeta) {
+        let reports = self.reports();
+        let mut d = Dispatcher::new();
+        if let Some(target) = d.dispatch(self.config.scheduler, &reports) {
+            self.llumlets
+                .get_mut(&target)
+                .expect("target")
+                .engine
+                .add_request(meta, self.now);
+            self.kick(target);
+        } else {
+            // No instance available: treat as aborted.
+            self.aborted += 1;
+        }
+    }
+
+    /// Removes a terminating instance once it is fully drained and no
+    /// migration still touches it.
+    fn maybe_finish_termination(&mut self, id: InstanceId) {
+        let Some(llumlet) = self.llumlets.get(&id) else {
+            return;
+        };
+        if !llumlet.terminating || !llumlet.is_drained() || llumlet.engine.step_in_flight() {
+            return;
+        }
+        if self.coordinator.touches(id) {
+            // Wait for in-flight migrations (out of *or into* this
+            // instance) to settle; commits re-check via this function.
+            return;
+        }
+        // Never drop the last instance.
+        if self.llumlets.len() <= 1 {
+            return;
+        }
+        self.llumlets.remove(&id);
+        self.order.retain(|&i| i != id);
+        self.pairs.remove(&id);
+        self.pairs.retain(|_, d| *d != id);
+        self.sample_instances();
+    }
+
+    fn retry_undispatched(&mut self) {
+        let pending: Vec<usize> = self.undispatched.drain(..).collect();
+        for index in pending {
+            self.dispatch(index);
+        }
+    }
+
+    fn finished_serving(&self) -> bool {
+        self.arrivals_done
+            && self.undispatched.is_empty()
+            && self.coordinator.active_count() == 0
+            && self.order.iter().all(|id| {
+                let e = &self.llumlets[id].engine;
+                !e.has_work() && !e.step_in_flight()
+            })
+    }
+}
+
+/// Convenience: builds and runs a simulation.
+pub fn run_serving(config: ServingConfig, trace: Trace) -> ServingOutput {
+    ServingSim::new(config, trace).run()
+}
+
+/// Disjoint mutable access to the engines of two distinct llumlets.
+fn two_engines(
+    map: &mut HashMap<InstanceId, Llumlet>,
+    a: InstanceId,
+    b: InstanceId,
+) -> Option<(&mut InstanceEngine, &mut InstanceEngine)> {
+    debug_assert_ne!(a, b, "migration endpoints must differ");
+    let [x, y] = map.get_disjoint_mut([&a, &b]);
+    match (x, y) {
+        (Some(x), Some(y)) => Some((&mut x.engine, &mut y.engine)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llumnix_sim::SimRng;
+    use llumnix_workload::{presets, Arrivals};
+
+    fn tiny_trace(n: usize, rate: f64, seed: u64) -> Trace {
+        // Capped so every request fits the 2048-token test instances: no
+        // admission-impossible aborts unless a test injects failures.
+        let spec = presets::by_name("S-S", n, Arrivals::poisson(rate))
+            .expect("preset")
+            .with_max_total_tokens(2_000);
+        spec.generate(&SimRng::new(seed))
+    }
+
+    fn tiny_config(kind: SchedulerKind, instances: u32) -> ServingConfig {
+        ServingConfig::new(kind, instances).with_spec(InstanceSpec::tiny_for_tests(2048))
+    }
+
+    fn assert_all_complete(trace_len: usize, out: &ServingOutput) {
+        assert_eq!(
+            out.records.len() as u64 + out.aborted,
+            trace_len as u64,
+            "every request completes exactly once ({} records, {} aborted)",
+            out.records.len(),
+            out.aborted
+        );
+        let mut ids: Vec<u64> = out.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.records.len(), "no duplicate completions");
+        for r in &out.records {
+            assert!(r.finish >= r.first_token);
+            assert!(r.first_token >= r.arrival);
+            assert!(r.output_len >= 1);
+        }
+    }
+
+    #[test]
+    fn round_robin_serves_small_trace() {
+        let trace = tiny_trace(120, 4.0, 1);
+        let out = run_serving(tiny_config(SchedulerKind::RoundRobin, 4), trace.clone());
+        assert_all_complete(trace.len(), &out);
+        assert_eq!(out.migration_stats.started, 0, "round-robin never migrates");
+    }
+
+    #[test]
+    fn llumnix_serves_and_migrates_under_pressure() {
+        // High rate on few tiny instances forces queue pressure and thus
+        // de-fragmentation / load-balancing migrations.
+        let trace = tiny_trace(300, 8.0, 2);
+        let out = run_serving(tiny_config(SchedulerKind::Llumnix, 4), trace.clone());
+        assert_all_complete(trace.len(), &out);
+        assert!(
+            out.migration_stats.started > 0,
+            "expected migrations under pressure"
+        );
+        assert!(out.migration_stats.committed <= out.migration_stats.started);
+    }
+
+    #[test]
+    fn infaas_serves_small_trace() {
+        let trace = tiny_trace(120, 4.0, 3);
+        let out = run_serving(tiny_config(SchedulerKind::InfaasPlusPlus, 4), trace.clone());
+        assert_all_complete(trace.len(), &out);
+        assert_eq!(out.migration_stats.started, 0);
+    }
+
+    #[test]
+    fn centralized_accumulates_stalls() {
+        let trace = tiny_trace(200, 10.0, 4);
+        let out = run_serving(tiny_config(SchedulerKind::Centralized, 8), trace.clone());
+        assert_all_complete(trace.len(), &out);
+        assert!(out.stalls.mean > 0.0, "centralized scheduler must stall");
+        let llum = run_serving(tiny_config(SchedulerKind::Llumnix, 8), trace.clone());
+        assert_eq!(llum.stalls.mean, 0.0, "llumnix steps never stall");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = tiny_trace(150, 6.0, 5);
+        let a = run_serving(tiny_config(SchedulerKind::Llumnix, 3), trace.clone());
+        let b = run_serving(tiny_config(SchedulerKind::Llumnix, 3), trace);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finish, y.finish);
+            assert_eq!(x.preemptions, y.preemptions);
+            assert_eq!(x.migrations, y.migrations);
+        }
+        assert_eq!(a.migration_stats.started, b.migration_stats.started);
+    }
+
+    #[test]
+    fn autoscaling_grows_and_shrinks() {
+        let trace = tiny_trace(400, 10.0, 6);
+        let scale = AutoScaleConfig {
+            min_instances: 1,
+            max_instances: 8,
+            freeness_low: 10.0,
+            freeness_high: 60.0,
+            sustain: SimDuration::from_secs(2),
+            startup_delay: SimDuration::from_secs(3),
+        };
+        let cfg = tiny_config(SchedulerKind::Llumnix, 1).with_autoscale(scale);
+        let out = run_serving(cfg, trace.clone());
+        assert_all_complete(trace.len(), &out);
+        assert!(
+            out.instances.max() > 1.0,
+            "load should trigger scale-up: max {}",
+            out.instances.max()
+        );
+        // After the trace drains, instances scale back down.
+        let final_count = out.instances.points().last().expect("samples").1;
+        assert!(
+            final_count < out.instances.max(),
+            "expected scale-down at the end"
+        );
+        assert!(out.avg_instances >= 1.0 && out.avg_instances <= 8.0);
+    }
+
+    #[test]
+    fn instance_failure_aborts_but_service_continues() {
+        let trace = tiny_trace(200, 5.0, 7);
+        let mut cfg = tiny_config(SchedulerKind::Llumnix, 3);
+        cfg.failures = vec![FailureSpec::Instance {
+            instance: InstanceId(0),
+            at: SimTime::from_secs(5),
+            restart_after: Some(SimDuration::from_secs(2)),
+        }];
+        let out = run_serving(cfg, trace.clone());
+        // Some requests died with the instance, the rest completed.
+        assert_all_complete(trace.len(), &out);
+        assert!(out.aborted > 0, "failure should abort resident requests");
+        assert!(
+            out.records.len() > trace.len() / 2,
+            "most requests still complete"
+        );
+    }
+
+    #[test]
+    fn global_scheduler_failure_falls_back_to_bypass() {
+        let trace = tiny_trace(200, 5.0, 8);
+        let mut cfg = tiny_config(SchedulerKind::Llumnix, 3);
+        cfg.failures = vec![FailureSpec::GlobalScheduler {
+            at: SimTime::from_secs(2),
+            duration: SimDuration::from_secs(20),
+        }];
+        let out = run_serving(cfg, trace.clone());
+        // Availability is preserved: every request is still served.
+        assert_all_complete(trace.len(), &out);
+        assert_eq!(out.aborted, 0);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let trace = Trace {
+            name: "empty".into(),
+            requests: vec![],
+        };
+        let out = run_serving(tiny_config(SchedulerKind::Llumnix, 2), trace);
+        assert!(out.records.is_empty());
+        assert_eq!(out.aborted, 0);
+    }
+
+    #[test]
+    fn llumnix_base_ignores_priorities() {
+        let spec = presets::by_name("S-S", 150, Arrivals::poisson(6.0))
+            .expect("preset")
+            .with_high_priority_fraction(0.3);
+        let trace = spec.generate(&SimRng::new(9));
+        let out = run_serving(tiny_config(SchedulerKind::LlumnixBase, 3), trace.clone());
+        assert_all_complete(trace.len(), &out);
+        // Records still carry the trace's priority labels for reporting.
+        assert!(out
+            .records
+            .iter()
+            .any(|r| r.priority == RecordPriority::High));
+    }
+}

@@ -1,0 +1,1216 @@
+//! The per-instance inference engine.
+//!
+//! [`InstanceEngine`] reproduces the scheduling-relevant behaviour of a vLLM
+//! instance (§2): continuous batching (requests join/leave the running batch
+//! at iteration boundaries), dynamic paged KV allocation, all-at-once prefill
+//! admission (the fragmentation driver), and recompute-style preemption when
+//! decode growth runs out of blocks. Step durations come from the calibrated
+//! cost model; the engine itself is deterministic.
+//!
+//! The engine also exposes the hooks live migration needs: reservations on
+//! the destination, drain/snapshot/commit on the source, and a small
+//! decode-overhead factor while migrations are in flight (§6.2 measures ≈1%).
+
+use std::collections::{HashMap, HashSet};
+
+use llumnix_model::{CostModel, DecodeBatch, InstanceSpec, PrefillBatch};
+use llumnix_sim::{SimDuration, SimTime};
+
+use crate::block::{BlockError, BlockManager, ReservationId};
+use crate::queue::{QueueOrder, WaitQueue};
+use crate::request::{Phase, RequestId, RequestMeta, SeqState};
+
+/// Unique instance identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u32);
+
+impl core::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Engine tunables.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Max prompt tokens prefetched in one prefill step (vLLM's
+    /// `max_num_batched_tokens`-style budget).
+    pub max_prefill_tokens_per_step: u32,
+    /// Decode/prefill slowdown while a migration touches this instance
+    /// (paper §6.2: ≈1%).
+    pub migration_overhead_factor: f64,
+    /// How preempted requests recover their KV cache.
+    pub preemption_mode: PreemptionMode,
+    /// Cap on concurrently running sequences (vLLM's `max_num_seqs`).
+    pub max_batch_size: usize,
+    /// Queue ordering within a scheduling-priority class.
+    pub queue_order: QueueOrder,
+    /// Blocks kept free at admission (vLLM's `watermark`): a new request is
+    /// only admitted if `needed + watermark` blocks are free, leaving slack
+    /// for the running batch's growth and reducing immediate re-preemption.
+    /// 0 reproduces the calibrated behaviour of this repo's experiments.
+    pub admission_watermark_blocks: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_prefill_tokens_per_step: 4096,
+            migration_overhead_factor: 1.01,
+            preemption_mode: PreemptionMode::Recompute,
+            max_batch_size: 256,
+            queue_order: QueueOrder::Fcfs,
+            admission_watermark_blocks: 0,
+        }
+    }
+}
+
+/// vLLM's two preemption-recovery strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreemptionMode {
+    /// Drop the KV cache and recompute it when rescheduled (the mode the
+    /// paper's experiments run under).
+    #[default]
+    Recompute,
+    /// Swap the KV cache to host memory over PCIe and swap it back in when
+    /// rescheduled. Swap-out overlaps with compute (a side copy stream);
+    /// swap-in stalls the readmission step for the transfer time.
+    Swap,
+}
+
+/// What a planned step computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepKind {
+    /// Prefill (or preemption recompute) of the listed requests.
+    Prefill(Vec<RequestId>),
+    /// One decode iteration for the listed requests.
+    Decode(Vec<RequestId>),
+}
+
+/// A step the engine has committed to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepPlan {
+    /// What the step computes.
+    pub kind: StepKind,
+    /// When the step started.
+    pub started: SimTime,
+    /// How long it runs.
+    pub duration: SimDuration,
+}
+
+impl StepPlan {
+    /// When the step finishes.
+    pub fn finish_at(&self) -> SimTime {
+        self.started + self.duration
+    }
+}
+
+/// Events surfaced to the cluster on step completion and drains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// The request emitted its first token (prefill done).
+    FirstToken(RequestId),
+    /// The request generated EOS and finished.
+    Finished(RequestId),
+    /// The request was preempted (blocks released, back to the queue).
+    Preempted(RequestId),
+    /// The request left the batch for its final migration stage.
+    Drained(RequestId),
+    /// The request can never fit on this instance and was aborted.
+    Aborted(RequestId),
+}
+
+/// Outcome of a drain request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// Removed from the batch immediately (no step in flight).
+    Drained,
+    /// A step is in flight; the drain completes when it finishes.
+    Pending,
+    /// The request is not in the running batch.
+    NotRunning,
+}
+
+/// Running counters for one instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Decode steps executed.
+    pub decode_steps: u64,
+    /// Prefill steps executed.
+    pub prefill_steps: u64,
+    /// Preemptions performed.
+    pub preemptions: u64,
+    /// Requests finished on this instance.
+    pub finished: u64,
+    /// Total busy time (steps in flight).
+    pub busy_time: SimDuration,
+}
+
+/// A vLLM-like serving instance.
+pub struct InstanceEngine {
+    /// Instance id.
+    pub id: InstanceId,
+    spec: InstanceSpec,
+    config: EngineConfig,
+    blocks: BlockManager,
+    waiting: WaitQueue,
+    prefill_pending: Vec<RequestId>,
+    running: Vec<RequestId>,
+    states: HashMap<RequestId, SeqState>,
+    in_flight: Option<StepPlan>,
+    drain_requested: HashSet<RequestId>,
+    active_migrations: u32,
+    finished: Vec<SeqState>,
+    pending_events: Vec<EngineEvent>,
+    stats: EngineStats,
+}
+
+impl InstanceEngine {
+    /// Creates an idle instance.
+    pub fn new(id: InstanceId, spec: InstanceSpec, config: EngineConfig) -> Self {
+        let blocks = BlockManager::new(spec.geometry.total_blocks);
+        let waiting = WaitQueue::with_order(config.queue_order);
+        InstanceEngine {
+            id,
+            spec,
+            config,
+            blocks,
+            waiting,
+            prefill_pending: Vec::new(),
+            running: Vec::new(),
+            states: HashMap::new(),
+            in_flight: None,
+            drain_requested: HashSet::new(),
+            active_migrations: 0,
+            finished: Vec::new(),
+            pending_events: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The instance spec.
+    pub fn spec(&self) -> &InstanceSpec {
+        &self.spec
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    // ---- request intake -------------------------------------------------
+
+    /// Enqueues a newly dispatched request.
+    pub fn add_request(&mut self, meta: RequestMeta, now: SimTime) {
+        debug_assert!(!self.states.contains_key(&meta.id), "duplicate {}", meta.id);
+        let state = SeqState::new(meta, now);
+        self.waiting.insert_with_demand(
+            meta.id,
+            meta.priority.scheduling,
+            meta.arrival,
+            state.required_tokens(),
+        );
+        self.states.insert(meta.id, state);
+    }
+
+    /// Aborts a request wherever it is (failure injection / cancellations).
+    /// Returns its state if it was known.
+    pub fn abort_request(&mut self, id: RequestId) -> Option<SeqState> {
+        self.waiting.remove(id);
+        self.prefill_pending.retain(|&r| r != id);
+        self.running.retain(|&r| r != id);
+        self.drain_requested.remove(&id);
+        if self.blocks.blocks_of(id) > 0 {
+            let _ = self.blocks.release(id);
+        }
+        self.states.remove(&id)
+    }
+
+    // ---- step loop -------------------------------------------------------
+
+    /// Whether a step is currently in flight.
+    pub fn step_in_flight(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Whether the instance has any request in any phase.
+    pub fn has_work(&self) -> bool {
+        !self.waiting.is_empty() || !self.prefill_pending.is_empty() || !self.running.is_empty()
+    }
+
+    /// Plans the next step if the engine is idle and work is runnable.
+    ///
+    /// Performs admission (all-or-nothing block allocation for the
+    /// head-of-line request), preemption when decode growth cannot be
+    /// satisfied, and returns the planned step. The caller schedules a
+    /// completion event at `plan.finish_at()` and then calls
+    /// [`InstanceEngine::complete_step`].
+    pub fn poll_step(&mut self, now: SimTime) -> Option<StepPlan> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        self.admit(now);
+        let plan = if !self.prefill_pending.is_empty() {
+            Some(self.plan_prefill(now))
+        } else {
+            self.plan_decode(now)
+        };
+        if let Some(p) = &plan {
+            self.in_flight = Some(p.clone());
+        }
+        plan
+    }
+
+    /// Admits waiting requests while the head-of-line request fits (both in
+    /// blocks and under the batch-size cap).
+    fn admit(&mut self, now: SimTime) {
+        while let Some(head) = self.waiting.head() {
+            if self.running.len() + self.prefill_pending.len() >= self.config.max_batch_size {
+                break;
+            }
+            let state = self.states.get(&head).expect("queued request has state");
+            let needed = self
+                .spec
+                .geometry
+                .blocks_for_tokens(state.required_tokens());
+            let watermark = self.config.admission_watermark_blocks;
+            if needed.saturating_add(watermark) > self.blocks.total_blocks() {
+                // Can never fit on this instance: abort rather than deadlock.
+                self.waiting.pop_head();
+                let mut state = self.states.remove(&head).expect("present");
+                state.finished_at = Some(now);
+                state.aborted = true;
+                self.finished.push(state);
+                self.pending_events.push(EngineEvent::Aborted(head));
+                continue;
+            }
+            if self.blocks.free_blocks() < needed.saturating_add(watermark) {
+                break;
+            }
+            match self.blocks.allocate(head, needed) {
+                Ok(()) => {
+                    self.waiting.pop_head();
+                    let state = self.states.get_mut(&head).expect("present");
+                    state.phase = Phase::Prefilling;
+                    state.blocks_held = needed;
+                    self.prefill_pending.push(head);
+                }
+                Err(BlockError::OutOfBlocks { .. }) => break,
+                Err(e) => unreachable!("admission allocate: {e}"),
+            }
+        }
+    }
+
+    /// Plans a prefill step over pending admissions, within the token budget.
+    ///
+    /// Swapped-out requests in the batch contribute a PCIe swap-in transfer
+    /// instead of prefill compute.
+    fn plan_prefill(&mut self, now: SimTime) -> StepPlan {
+        let mut ids = Vec::new();
+        let mut total = 0u64;
+        let mut max = 0u64;
+        let mut swap_tokens = 0u64;
+        let budget = self.config.max_prefill_tokens_per_step as u64;
+        let mut rest = Vec::new();
+        for id in std::mem::take(&mut self.prefill_pending) {
+            let s = &self.states[&id];
+            let tokens = s.required_tokens() as u64;
+            if !ids.is_empty() && total + tokens > budget {
+                rest.push(id);
+                continue;
+            }
+            if s.swapped_out {
+                swap_tokens += tokens;
+            } else {
+                total += tokens;
+                max = max.max(tokens);
+            }
+            ids.push(id);
+        }
+        self.prefill_pending = rest;
+        let compute = self.spec.cost.prefill_step(PrefillBatch {
+            num_seqs: ids.iter().filter(|id| !self.states[id].swapped_out).count() as u32,
+            total_tokens: total,
+            max_tokens: max,
+        });
+        let swap_in = self.swap_in_time(swap_tokens);
+        let duration = (compute + swap_in).mul_f64(self.overhead_factor());
+        self.stats.prefill_steps += 1;
+        StepPlan {
+            kind: StepKind::Prefill(ids),
+            started: now,
+            duration,
+        }
+    }
+
+    /// PCIe transfer time to swap `tokens` of KV back into device memory.
+    fn swap_in_time(&self, tokens: u64) -> SimDuration {
+        if tokens == 0 {
+            return SimDuration::ZERO;
+        }
+        let bytes = self.spec.model.kv_bytes_per_token() * tokens;
+        SimDuration::from_millis(1)
+            + SimDuration::from_secs_f64(bytes as f64 / self.spec.transfer.pcie_bandwidth)
+    }
+
+    /// Plans one decode iteration, preempting if block growth cannot fit.
+    fn plan_decode(&mut self, now: SimTime) -> Option<StepPlan> {
+        if self.running.is_empty() {
+            return None;
+        }
+        // Grow each sequence's allocation for the token this step appends.
+        // Victims are chosen lowest-execution-priority first, then latest
+        // arrival (vLLM preempts the most recent request).
+        loop {
+            let mut needed_per_req: Vec<(RequestId, u32)> = Vec::new();
+            let mut total_needed = 0u32;
+            for &id in &self.running {
+                let s = &self.states[&id];
+                let target = self.spec.geometry.blocks_for_tokens(s.cached_tokens + 1);
+                let extra = target.saturating_sub(s.blocks_held);
+                if extra > 0 {
+                    needed_per_req.push((id, extra));
+                    total_needed += extra;
+                }
+            }
+            if total_needed <= self.blocks.free_blocks() {
+                for (id, extra) in needed_per_req {
+                    self.blocks.grow(id, extra).expect("checked total");
+                    self.states.get_mut(&id).expect("running").blocks_held += extra;
+                }
+                break;
+            }
+            if !self.preempt_one(now) {
+                // Only one request left and it still cannot grow: it can
+                // never proceed here. Preempt it too; admission will abort
+                // it if it cannot ever fit.
+                if !self.running.is_empty() {
+                    let id = self.running[0];
+                    self.preempt(id, now);
+                    continue;
+                }
+                return None;
+            }
+        }
+        if self.running.is_empty() {
+            return None;
+        }
+        let total_tokens: u64 = self
+            .running
+            .iter()
+            .map(|id| self.states[id].total_len() as u64)
+            .sum();
+        let duration = self
+            .spec
+            .cost
+            .decode_step(DecodeBatch {
+                num_seqs: self.running.len() as u32,
+                total_tokens,
+            })
+            .mul_f64(self.overhead_factor());
+        self.stats.decode_steps += 1;
+        Some(StepPlan {
+            kind: StepKind::Decode(self.running.clone()),
+            started: now,
+            duration,
+        })
+    }
+
+    /// Preempts the best victim among running requests, if more than one is
+    /// running. Returns whether a victim was preempted.
+    fn preempt_one(&mut self, now: SimTime) -> bool {
+        if self.running.len() <= 1 {
+            return false;
+        }
+        let victim = self
+            .running
+            .iter()
+            .copied()
+            .min_by_key(|id| {
+                let s = &self.states[id];
+                // Lowest execution priority first; break ties by latest
+                // arrival (newest request loses).
+                (
+                    s.meta.priority.execution,
+                    core::cmp::Reverse(s.meta.arrival),
+                    core::cmp::Reverse(s.meta.id),
+                )
+            })
+            .expect("non-empty running");
+        self.preempt(victim, now);
+        true
+    }
+
+    /// Preempts `id`: releases its blocks and re-queues it for recompute or
+    /// swap-in, per the configured [`PreemptionMode`].
+    fn preempt(&mut self, id: RequestId, now: SimTime) {
+        self.running.retain(|&r| r != id);
+        let _ = self.blocks.release(id);
+        let mode = self.config.preemption_mode;
+        let s = self.states.get_mut(&id).expect("running request has state");
+        s.phase = Phase::Waiting;
+        s.cached_tokens = 0;
+        s.blocks_held = 0;
+        s.swapped_out = mode == PreemptionMode::Swap;
+        s.preemptions += 1;
+        s.preempted_at = Some(now);
+        s.enqueued_at = now;
+        self.stats.preemptions += 1;
+        let demand = s.required_tokens();
+        let (sched, arrival) = (s.meta.priority.scheduling, s.meta.arrival);
+        self.waiting.insert_with_demand(id, sched, arrival, demand);
+        // An in-progress drain of a preempted request is void: the migration
+        // coordinator observes the Preempted event and aborts.
+        self.drain_requested.remove(&id);
+        self.pending_events.push(EngineEvent::Preempted(id));
+    }
+
+    /// Drains events produced outside `complete_step` (preemptions during
+    /// step planning, admission-time aborts). Callers should collect these
+    /// after every [`InstanceEngine::poll_step`].
+    pub fn take_pending_events(&mut self) -> Vec<EngineEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
+    /// Completes the in-flight step, applying token/bookkeeping effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step is in flight (a scheduling logic error).
+    pub fn complete_step(&mut self, now: SimTime) -> Vec<EngineEvent> {
+        let plan = self.in_flight.take().expect("complete_step without a step");
+        self.stats.busy_time += plan.duration;
+        let mut events = std::mem::take(&mut self.pending_events);
+        match plan.kind {
+            StepKind::Prefill(ids) => {
+                for id in ids {
+                    // The request may have been aborted mid-step.
+                    let Some(s) = self.states.get_mut(&id) else {
+                        continue;
+                    };
+                    s.cached_tokens = s.required_tokens();
+                    if s.swapped_out {
+                        // Swap-in restores the KV; no new token is produced.
+                        s.swapped_out = false;
+                        if let Some(t) = s.preempted_at.take() {
+                            s.preemption_loss += now.since(t);
+                        }
+                        s.phase = Phase::Running;
+                        self.running.push(id);
+                        continue;
+                    }
+                    s.generated += 1;
+                    s.note_token(now);
+                    // Prefill's emitted token needs its KV slot for the next
+                    // iteration; growth is handled at the next decode plan.
+                    if s.first_token_at.is_none() {
+                        s.first_token_at = Some(now);
+                        events.push(EngineEvent::FirstToken(id));
+                    }
+                    if let Some(t) = s.preempted_at.take() {
+                        s.preemption_loss += now.since(t);
+                    }
+                    if s.is_complete() {
+                        events.push(EngineEvent::Finished(id));
+                        self.finish(id, now);
+                    } else {
+                        let s = self.states.get_mut(&id).expect("present");
+                        s.phase = Phase::Running;
+                        self.running.push(id);
+                    }
+                }
+            }
+            StepKind::Decode(ids) => {
+                for id in ids {
+                    // Skip requests that left the batch mid-step (aborted).
+                    if !self.running.contains(&id) {
+                        continue;
+                    }
+                    let s = self.states.get_mut(&id).expect("running request");
+                    s.generated += 1;
+                    s.cached_tokens += 1;
+                    s.note_token(now);
+                    s.decode_compute += plan.duration;
+                    if s.is_complete() {
+                        events.push(EngineEvent::Finished(id));
+                        self.running.retain(|&r| r != id);
+                        self.drain_requested.remove(&id);
+                        self.finish(id, now);
+                    }
+                }
+            }
+        }
+        // Apply drains requested while the step was in flight.
+        let pending: Vec<RequestId> = self.drain_requested.drain().collect();
+        for id in pending {
+            if self.running.contains(&id) {
+                self.do_drain(id);
+                events.push(EngineEvent::Drained(id));
+            }
+        }
+        events
+    }
+
+    /// Marks `id` finished and parks its state for collection.
+    fn finish(&mut self, id: RequestId, now: SimTime) {
+        let _ = self.blocks.release(id);
+        let mut s = self.states.remove(&id).expect("finishing request");
+        s.phase = Phase::Finished;
+        s.finished_at = Some(now);
+        s.blocks_held = 0;
+        self.stats.finished += 1;
+        self.finished.push(s);
+    }
+
+    /// Takes the states of requests that finished (or were aborted at
+    /// admission) since the last call.
+    pub fn take_finished(&mut self) -> Vec<SeqState> {
+        std::mem::take(&mut self.finished)
+    }
+
+    // ---- migration hooks -------------------------------------------------
+
+    /// Requests that a running request leave the batch for its final
+    /// migration stage.
+    pub fn request_drain(&mut self, id: RequestId) -> DrainOutcome {
+        if !self.running.contains(&id) {
+            return DrainOutcome::NotRunning;
+        }
+        if self.in_flight.is_some() {
+            self.drain_requested.insert(id);
+            return DrainOutcome::Pending;
+        }
+        self.do_drain(id);
+        DrainOutcome::Drained
+    }
+
+    fn do_drain(&mut self, id: RequestId) {
+        self.running.retain(|&r| r != id);
+        self.states.get_mut(&id).expect("draining request").phase = Phase::Draining;
+    }
+
+    /// Cancels a pending (not yet executed) drain request, e.g. when the
+    /// migration that asked for it aborts before the step boundary.
+    pub fn cancel_drain(&mut self, id: RequestId) {
+        self.drain_requested.remove(&id);
+    }
+
+    /// Re-inserts a drained request into the batch (migration aborted after
+    /// the drain, e.g. destination failure).
+    pub fn undrain(&mut self, id: RequestId) {
+        let s = self.states.get_mut(&id).expect("undrain unknown request");
+        assert_eq!(s.phase, Phase::Draining, "undrain of non-draining {id}");
+        s.phase = Phase::Running;
+        self.running.push(id);
+    }
+
+    /// Read-only state of a resident request.
+    pub fn state(&self, id: RequestId) -> Option<&SeqState> {
+        self.states.get(&id)
+    }
+
+    /// Mutable state access for the migration coordinator's accounting.
+    pub fn state_mut(&mut self, id: RequestId) -> Option<&mut SeqState> {
+        self.states.get_mut(&id)
+    }
+
+    /// Running requests eligible to migrate out (decoding, not already
+    /// draining), as `(id, execution priority, current length)`.
+    pub fn migratable_requests(&self) -> Vec<(RequestId, crate::request::Priority, u32)> {
+        self.running
+            .iter()
+            .filter(|id| !self.drain_requested.contains(id))
+            .map(|id| {
+                let s = &self.states[id];
+                (*id, s.meta.priority.execution, s.total_len())
+            })
+            .collect()
+    }
+
+    /// Removes a migrated-out request entirely, releasing its blocks
+    /// (the source side of the migration commit). Returns its state.
+    pub fn finish_migration_out(&mut self, id: RequestId) -> SeqState {
+        let _ = self.blocks.release(id);
+        let mut s = self
+            .states
+            .remove(&id)
+            .expect("migrating request has state");
+        s.blocks_held = 0;
+        s
+    }
+
+    /// Installs a migrated-in request: its reservation becomes a live
+    /// allocation and it joins the running batch directly (no re-prefill —
+    /// the KV arrived with it).
+    pub fn insert_migrated(
+        &mut self,
+        mut state: SeqState,
+        reservation: ReservationId,
+    ) -> Result<(), BlockError> {
+        let id = state.meta.id;
+        let blocks = self.blocks.commit_reservation(reservation, id)?;
+        state.blocks_held = blocks;
+        state.phase = Phase::Running;
+        self.running.push(id);
+        self.states.insert(id, state);
+        Ok(())
+    }
+
+    /// Reserves blocks for an incoming migration stage.
+    pub fn reserve_blocks(&mut self, blocks: u32) -> Result<ReservationId, BlockError> {
+        self.blocks.reserve(blocks)
+    }
+
+    /// Grows an incoming migration's reservation.
+    pub fn grow_reservation(&mut self, id: ReservationId, extra: u32) -> Result<(), BlockError> {
+        self.blocks.grow_reservation(id, extra)
+    }
+
+    /// Releases an aborted migration's reservation.
+    pub fn release_reservation(&mut self, id: ReservationId) -> Result<u32, BlockError> {
+        self.blocks.release_reservation(id)
+    }
+
+    /// Registers that a migration started touching this instance.
+    pub fn migration_started(&mut self) {
+        self.active_migrations += 1;
+    }
+
+    /// Registers that a migration stopped touching this instance.
+    pub fn migration_ended(&mut self) {
+        debug_assert!(self.active_migrations > 0);
+        self.active_migrations = self.active_migrations.saturating_sub(1);
+    }
+
+    fn overhead_factor(&self) -> f64 {
+        if self.active_migrations > 0 {
+            self.config.migration_overhead_factor
+        } else {
+            1.0
+        }
+    }
+
+    // ---- load queries ----------------------------------------------------
+
+    /// Free KV blocks.
+    pub fn free_blocks(&self) -> u32 {
+        self.blocks.free_blocks()
+    }
+
+    /// Total KV blocks.
+    pub fn total_blocks(&self) -> u32 {
+        self.blocks.total_blocks()
+    }
+
+    /// Blocks physically held by a request.
+    pub fn physical_blocks_of(&self, id: RequestId) -> u32 {
+        self.blocks.blocks_of(id)
+    }
+
+    /// A [`DecodeBatch`] summary of the current running batch, used by the
+    /// migration coordinator to estimate the current step time.
+    pub fn decode_batch_hint(&self) -> DecodeBatch {
+        DecodeBatch {
+            num_seqs: self.running.len() as u32,
+            total_tokens: self
+                .running
+                .iter()
+                .map(|id| self.states[id].total_len() as u64)
+                .sum(),
+        }
+    }
+
+    /// Number of requests in the running batch (the freeness denominator).
+    pub fn batch_size(&self) -> usize {
+        self.running.len() + self.prefill_pending.len()
+    }
+
+    /// Number of queued requests.
+    pub fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Ids in the running batch.
+    pub fn running_ids(&self) -> &[RequestId] {
+        &self.running
+    }
+
+    /// Ids admitted and awaiting prefill.
+    pub fn prefill_pending_ids(&self) -> &[RequestId] {
+        &self.prefill_pending
+    }
+
+    /// Queued ids in scheduling order.
+    pub fn waiting_ids(&self) -> Vec<RequestId> {
+        self.waiting.iter().collect()
+    }
+
+    /// Number of live (unfinished) requests the engine tracks, in any phase:
+    /// queued, admitted, inside an in-flight step, running, or draining.
+    pub fn tracked_requests(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Ids currently drained out of the batch for a final migration stage.
+    pub fn draining_ids(&self) -> Vec<RequestId> {
+        self.states
+            .iter()
+            .filter(|(_, s)| s.phase == Phase::Draining)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// The head-of-line queued request and its block demand, if any.
+    pub fn head_of_line_demand(&self) -> Option<(RequestId, u32)> {
+        self.waiting.head().map(|id| {
+            let s = &self.states[&id];
+            (
+                id,
+                self.spec.geometry.blocks_for_tokens(s.required_tokens()),
+            )
+        })
+    }
+
+    /// Sum of blocks demanded by *all* queued requests (INFaaS++'s queue
+    /// pressure signal).
+    pub fn queued_demand_blocks(&self) -> u32 {
+        self.waiting
+            .iter()
+            .map(|id| {
+                self.spec
+                    .geometry
+                    .blocks_for_tokens(self.states[&id].required_tokens())
+            })
+            .sum()
+    }
+
+    /// Verifies internal invariants (tests and debug assertions).
+    pub fn check_invariants(&self) -> bool {
+        let block_sum: u32 = self.states.values().map(|s| s.blocks_held).sum();
+        block_sum == self.blocks.allocated_blocks() && self.blocks.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::PriorityPair;
+    use llumnix_model::InstanceSpec;
+
+    fn meta(id: u64, input: u32, output: u32, arrival_s: u64) -> RequestMeta {
+        RequestMeta {
+            id: RequestId(id),
+            input_len: input,
+            output_len: output,
+            priority: PriorityPair::NORMAL,
+            arrival: SimTime::from_secs(arrival_s),
+        }
+    }
+
+    fn engine(capacity_tokens: u32) -> InstanceEngine {
+        InstanceEngine::new(
+            InstanceId(0),
+            InstanceSpec::tiny_for_tests(capacity_tokens),
+            EngineConfig::default(),
+        )
+    }
+
+    /// Runs the engine until idle, returning all events with times.
+    fn run_to_idle(
+        e: &mut InstanceEngine,
+        mut now: SimTime,
+    ) -> (SimTime, Vec<(SimTime, EngineEvent)>) {
+        let mut events = Vec::new();
+        while let Some(plan) = e.poll_step(now) {
+            now = plan.finish_at();
+            for ev in e.complete_step(now) {
+                events.push((now, ev));
+            }
+            assert!(e.check_invariants());
+        }
+        (now, events)
+    }
+
+    #[test]
+    fn single_request_lifecycle() {
+        let mut e = engine(1024);
+        e.add_request(meta(1, 32, 4, 0), SimTime::ZERO);
+        assert!(e.has_work());
+        let (_, events) = run_to_idle(&mut e, SimTime::ZERO);
+        let kinds: Vec<&EngineEvent> = events.iter().map(|(_, ev)| ev).collect();
+        assert!(matches!(kinds[0], EngineEvent::FirstToken(RequestId(1))));
+        assert!(matches!(
+            kinds.last().expect("events"),
+            EngineEvent::Finished(RequestId(1))
+        ));
+        let fin = e.take_finished();
+        assert_eq!(fin.len(), 1);
+        assert_eq!(fin[0].generated, 4);
+        assert!(fin[0].first_token_at.is_some());
+        assert_eq!(e.free_blocks(), e.total_blocks());
+        assert!(!e.has_work());
+    }
+
+    #[test]
+    fn output_of_one_finishes_at_prefill() {
+        let mut e = engine(1024);
+        e.add_request(meta(1, 32, 1, 0), SimTime::ZERO);
+        let (_, events) = run_to_idle(&mut e, SimTime::ZERO);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0].1, EngineEvent::FirstToken(_)));
+        assert!(matches!(events[1].1, EngineEvent::Finished(_)));
+        // Exactly one step ran (the prefill).
+        assert_eq!(e.stats().prefill_steps, 1);
+        assert_eq!(e.stats().decode_steps, 0);
+    }
+
+    #[test]
+    fn continuous_batching_admits_mid_flight() {
+        let mut e = engine(4096);
+        e.add_request(meta(1, 64, 50, 0), SimTime::ZERO);
+        // Run a couple of steps, then a second request arrives.
+        let p1 = e.poll_step(SimTime::ZERO).expect("prefill");
+        let t1 = p1.finish_at();
+        e.complete_step(t1);
+        e.add_request(meta(2, 64, 8, 0), t1);
+        let (_, events) = run_to_idle(&mut e, t1);
+        // Request 2 must finish long before request 1.
+        let fin2 = events
+            .iter()
+            .find(|(_, ev)| matches!(ev, EngineEvent::Finished(RequestId(2))))
+            .expect("r2 finishes");
+        let fin1 = events
+            .iter()
+            .find(|(_, ev)| matches!(ev, EngineEvent::Finished(RequestId(1))))
+            .expect("r1 finishes");
+        assert!(fin2.0 < fin1.0, "continuous batching lets r2 leave early");
+    }
+
+    #[test]
+    fn admission_blocks_when_memory_full() {
+        // Capacity 96 tokens = 6 blocks. First request takes 4 blocks
+        // (64 tokens), second needs 4 — must queue.
+        let mut e = engine(96);
+        e.add_request(meta(1, 64, 40, 0), SimTime::ZERO);
+        e.add_request(meta(2, 64, 4, 0), SimTime::ZERO);
+        let plan = e.poll_step(SimTime::ZERO).expect("step");
+        match &plan.kind {
+            StepKind::Prefill(ids) => assert_eq!(ids.as_slice(), &[RequestId(1)]),
+            other => panic!("expected prefill, got {other:?}"),
+        }
+        assert_eq!(e.waiting_len(), 1);
+        let (_, hol_demand) = e.head_of_line_demand().expect("queued head");
+        assert_eq!(hol_demand, 4);
+    }
+
+    #[test]
+    fn preemption_on_decode_growth() {
+        // 6 blocks total. r1: 40 input → 3 blocks; r2: 40 input → 3 blocks.
+        // Both admitted (6 blocks). Decode growth soon needs a 4th block for
+        // one of them → the later request is preempted.
+        let mut e = engine(96);
+        e.add_request(meta(1, 40, 30, 0), SimTime::ZERO);
+        e.add_request(meta(2, 40, 30, 1), SimTime::ZERO);
+        let (_, events) = run_to_idle(&mut e, SimTime::ZERO);
+        let preempted: Vec<RequestId> = events
+            .iter()
+            .filter_map(|(_, ev)| match ev {
+                EngineEvent::Preempted(id) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            preempted.contains(&RequestId(2)),
+            "expected r2 preemption event, got {preempted:?}"
+        );
+        assert!(
+            e.stats().preemptions > 0,
+            "expected at least one preemption"
+        );
+        let fin = e.take_finished();
+        assert_eq!(fin.len(), 2);
+        // The later request (r2) was the victim.
+        let r2 = fin.iter().find(|s| s.meta.id == RequestId(2)).expect("r2");
+        assert!(r2.preemptions > 0);
+        assert!(!r2.preemption_loss.is_zero());
+        let r1 = fin.iter().find(|s| s.meta.id == RequestId(1)).expect("r1");
+        assert_eq!(r1.preemptions, 0);
+        // Both still completed fully.
+        assert_eq!(r2.generated, 30);
+        assert_eq!(r1.generated, 30);
+    }
+
+    #[test]
+    fn oversized_request_is_aborted_not_deadlocked() {
+        let mut e = engine(96);
+        e.add_request(meta(1, 200, 10, 0), SimTime::ZERO);
+        let plan = e.poll_step(SimTime::ZERO);
+        assert!(plan.is_none());
+        let fin = e.take_finished();
+        assert_eq!(fin.len(), 1);
+        assert_eq!(fin[0].generated, 0, "aborted before generating");
+        assert!(!e.has_work());
+    }
+
+    #[test]
+    fn high_scheduling_priority_admitted_first() {
+        let mut e = engine(96);
+        // Fill the instance so both new requests queue.
+        e.add_request(meta(1, 80, 60, 0), SimTime::ZERO);
+        let p = e.poll_step(SimTime::ZERO).expect("prefill r1");
+        let t = p.finish_at();
+        e.complete_step(t);
+        e.add_request(meta(2, 40, 4, 1), t);
+        let mut high = meta(3, 40, 4, 2);
+        high.priority = PriorityPair::HIGH;
+        e.add_request(high, t);
+        // r3 arrived later but has high scheduling priority.
+        assert_eq!(e.waiting_ids(), vec![RequestId(3), RequestId(2)]);
+    }
+
+    #[test]
+    fn drain_waits_for_step_boundary() {
+        let mut e = engine(1024);
+        e.add_request(meta(1, 32, 50, 0), SimTime::ZERO);
+        // Complete prefill so r1 decodes.
+        let p = e.poll_step(SimTime::ZERO).expect("prefill");
+        let t = p.finish_at();
+        e.complete_step(t);
+        let d = e.poll_step(t).expect("decode");
+        // Mid-step drain is deferred.
+        assert_eq!(e.request_drain(RequestId(1)), DrainOutcome::Pending);
+        let t2 = d.finish_at();
+        let events = e.complete_step(t2);
+        assert!(events.contains(&EngineEvent::Drained(RequestId(1))));
+        assert_eq!(e.state(RequestId(1)).expect("state").phase, Phase::Draining);
+        // Blocks are still held at the source until commit.
+        assert!(e.physical_blocks_of(RequestId(1)) > 0);
+        // Finish the migration out; blocks release.
+        let s = e.finish_migration_out(RequestId(1));
+        assert_eq!(s.meta.id, RequestId(1));
+        assert_eq!(e.free_blocks(), e.total_blocks());
+    }
+
+    #[test]
+    fn drain_immediate_when_idle() {
+        let mut e = engine(1024);
+        e.add_request(meta(1, 32, 50, 0), SimTime::ZERO);
+        let p = e.poll_step(SimTime::ZERO).expect("prefill");
+        let t = p.finish_at();
+        e.complete_step(t);
+        // No step in flight now.
+        assert_eq!(e.request_drain(RequestId(1)), DrainOutcome::Drained);
+        assert_eq!(e.request_drain(RequestId(1)), DrainOutcome::NotRunning);
+        // Undrain puts it back.
+        e.undrain(RequestId(1));
+        assert!(e.running_ids().contains(&RequestId(1)));
+    }
+
+    #[test]
+    fn migrated_in_request_joins_batch_directly() {
+        let mut src = engine(1024);
+        src.add_request(meta(1, 32, 50, 0), SimTime::ZERO);
+        let p = src.poll_step(SimTime::ZERO).expect("prefill");
+        let t = p.finish_at();
+        src.complete_step(t);
+        assert_eq!(src.request_drain(RequestId(1)), DrainOutcome::Drained);
+        let state = src.finish_migration_out(RequestId(1));
+
+        let mut dst = engine(1024);
+        let blocks = dst.spec().geometry.blocks_for_tokens(state.cached_tokens);
+        let r = dst.reserve_blocks(blocks).expect("space");
+        dst.insert_migrated(state, r).expect("commit");
+        assert_eq!(dst.running_ids(), &[RequestId(1)]);
+        // No prefill needed: next step is a decode.
+        let plan = dst.poll_step(t).expect("decode");
+        assert!(matches!(plan.kind, StepKind::Decode(_)));
+        // And the request runs to completion on the destination.
+        dst.complete_step(plan.finish_at());
+        let (_, events) = run_to_idle(&mut dst, plan.finish_at());
+        assert!(events
+            .iter()
+            .any(|(_, ev)| matches!(ev, EngineEvent::Finished(RequestId(1)))));
+        let fin = dst.take_finished();
+        assert_eq!(fin[0].generated, 50);
+        assert!(dst.check_invariants());
+    }
+
+    #[test]
+    fn migration_overhead_factor_applies() {
+        let mut e = engine(1024);
+        e.add_request(meta(1, 32, 10, 0), SimTime::ZERO);
+        let p = e.poll_step(SimTime::ZERO).expect("prefill");
+        let t = p.finish_at();
+        e.complete_step(t);
+        let base = e.poll_step(t).expect("decode").duration;
+        e.complete_step(t + base);
+        e.migration_started();
+        let slowed = e.poll_step(t + base).expect("decode").duration;
+        assert!(slowed > base);
+        let ratio = slowed.as_secs_f64() / base.as_secs_f64();
+        assert!((ratio - 1.01).abs() < 1e-3, "overhead ratio {ratio}");
+        e.complete_step(t + base + slowed);
+        e.migration_ended();
+        let back = e.poll_step(t + base + slowed).expect("decode").duration;
+        // The sequence grew by two tokens meanwhile, so compare ratios.
+        let back_ratio = back.as_secs_f64() / base.as_secs_f64();
+        assert!((back_ratio - 1.0).abs() < 1e-3, "back ratio {back_ratio}");
+    }
+
+    #[test]
+    fn abort_request_cleans_up_everywhere() {
+        let mut e = engine(1024);
+        e.add_request(meta(1, 32, 50, 0), SimTime::ZERO);
+        e.add_request(meta(2, 32, 50, 0), SimTime::ZERO);
+        let p = e.poll_step(SimTime::ZERO).expect("prefill");
+        let t = p.finish_at();
+        e.complete_step(t);
+        // r1/r2 both running now. Abort r1 mid-decode-step.
+        let d = e.poll_step(t).expect("decode");
+        assert!(e.abort_request(RequestId(1)).is_some());
+        let _ = e.complete_step(d.finish_at());
+        assert!(e.check_invariants());
+        assert!(!e.running_ids().contains(&RequestId(1)));
+        // r2 unaffected.
+        assert!(e.running_ids().contains(&RequestId(2)));
+        assert!(e.abort_request(RequestId(99)).is_none());
+    }
+
+    fn swap_engine(capacity: u32) -> InstanceEngine {
+        InstanceEngine::new(
+            InstanceId(0),
+            InstanceSpec::tiny_for_tests(capacity),
+            EngineConfig {
+                preemption_mode: PreemptionMode::Swap,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn swap_preemption_resumes_without_recompute() {
+        // Same memory-pressure scenario as `preemption_on_decode_growth`,
+        // but with swap-mode recovery.
+        let mut e = swap_engine(96);
+        e.add_request(meta(1, 40, 30, 0), SimTime::ZERO);
+        e.add_request(meta(2, 40, 30, 1), SimTime::ZERO);
+        let (_, _) = run_to_idle(&mut e, SimTime::ZERO);
+        assert!(e.stats().preemptions > 0, "expected preemption");
+        let fin = e.take_finished();
+        assert_eq!(fin.len(), 2);
+        for s in &fin {
+            // Token conservation holds through swap round trips.
+            assert_eq!(s.generated, 30);
+            assert!(!s.swapped_out, "flag cleared after swap-in");
+        }
+        let victim = fin.iter().find(|s| s.preemptions > 0).expect("victim");
+        assert!(!victim.preemption_loss.is_zero());
+        assert!(e.check_invariants());
+        assert_eq!(e.free_blocks(), e.total_blocks());
+    }
+
+    #[test]
+    fn swap_in_cheaper_than_recompute_for_long_sequences() {
+        // Compare the readmission step duration for a 2k-token preempted
+        // request under both modes: swap-in is a PCIe copy, recompute is a
+        // full prefill.
+        let run = |mode: PreemptionMode| -> SimDuration {
+            let mut e = InstanceEngine::new(
+                InstanceId(0),
+                InstanceSpec::llama_7b_a10(),
+                EngineConfig {
+                    preemption_mode: mode,
+                    ..EngineConfig::default()
+                },
+            );
+            e.add_request(meta(1, 2_048, 100, 0), SimTime::ZERO);
+            let p = e.poll_step(SimTime::ZERO).expect("prefill");
+            let t = p.finish_at();
+            e.complete_step(t);
+            // Force a preemption by draining blocks via a fake reservation.
+            let free = e.free_blocks();
+            let _r = e.reserve_blocks(free).expect("reserve all");
+            // Next decode growth fails -> the lone request preempts itself.
+            assert!(e.poll_step(t).is_none());
+            let s = e.state(RequestId(1)).expect("state");
+            assert_eq!(s.phase, Phase::Waiting);
+            assert_eq!(s.preemptions, 1);
+            // Release the pressure and readmit.
+            let _ = e.release_reservation(_r);
+            let plan = e.poll_step(t).expect("readmission step");
+            plan.duration
+        };
+        let swap = run(PreemptionMode::Swap);
+        let recompute = run(PreemptionMode::Recompute);
+        assert!(
+            swap.as_secs_f64() * 3.0 < recompute.as_secs_f64(),
+            "swap-in {swap} should be much cheaper than recompute {recompute}"
+        );
+    }
+
+    #[test]
+    fn admission_watermark_holds_back_slack() {
+        // Capacity 6 blocks; watermark 2. A 64-token request needs 4 blocks;
+        // with the watermark it needs 6 free, so a second 4-block request
+        // must wait even though its blocks exist.
+        let mut e = InstanceEngine::new(
+            InstanceId(0),
+            InstanceSpec::tiny_for_tests(96),
+            EngineConfig {
+                admission_watermark_blocks: 2,
+                ..EngineConfig::default()
+            },
+        );
+        e.add_request(meta(1, 32, 8, 0), SimTime::ZERO); // 2 blocks + 2 slack OK
+        e.add_request(meta(2, 48, 8, 0), SimTime::ZERO); // 3 blocks + 2 slack > 4 free
+        let plan = e.poll_step(SimTime::ZERO).expect("prefill r1");
+        match plan.kind {
+            StepKind::Prefill(ref ids) => assert_eq!(ids.as_slice(), &[RequestId(1)]),
+            ref other => panic!("expected prefill, got {other:?}"),
+        }
+        assert_eq!(e.waiting_len(), 1, "r2 held back by the watermark");
+        // Both still finish once space frees.
+        let t = plan.finish_at();
+        e.complete_step(t);
+        let (_, _) = run_to_idle(&mut e, t);
+        assert_eq!(e.take_finished().len(), 2);
+    }
+
+    #[test]
+    fn max_batch_size_caps_admission() {
+        let mut e = InstanceEngine::new(
+            InstanceId(0),
+            InstanceSpec::tiny_for_tests(4096),
+            EngineConfig {
+                max_batch_size: 2,
+                ..EngineConfig::default()
+            },
+        );
+        for i in 0..5 {
+            e.add_request(meta(i, 32, 20, i), SimTime::ZERO);
+        }
+        let plan = e.poll_step(SimTime::ZERO).expect("prefill");
+        match plan.kind {
+            StepKind::Prefill(ref ids) => assert_eq!(ids.len(), 2, "cap applies"),
+            ref other => panic!("expected prefill, got {other:?}"),
+        }
+        assert_eq!(e.waiting_len(), 3);
+        // All requests still complete eventually.
+        let t = plan.finish_at();
+        e.complete_step(t);
+        let (_, _) = run_to_idle(&mut e, t);
+        assert_eq!(e.take_finished().len(), 5);
+    }
+
+    #[test]
+    fn queued_demand_counts_all_waiting() {
+        let mut e = engine(96);
+        e.add_request(meta(1, 80, 60, 0), SimTime::ZERO);
+        let p = e.poll_step(SimTime::ZERO).expect("prefill");
+        e.complete_step(p.finish_at());
+        e.add_request(meta(2, 40, 4, 1), p.finish_at());
+        e.add_request(meta(3, 20, 4, 2), p.finish_at());
+        // r2 needs 3 blocks, r3 needs 2.
+        assert_eq!(e.queued_demand_blocks(), 5);
+    }
+}

@@ -1,0 +1,239 @@
+//! The per-instance wait queue.
+//!
+//! Ordering follows the paper's dispatching rule (§4.4.3): higher scheduling
+//! priority first; within a priority class, first-come-first-serve by
+//! arrival. Preempted requests keep their original arrival as the sort key,
+//! so they resume near the front of their class — matching vLLM's behaviour
+//! of rescheduling preempted sequences before newer arrivals.
+
+use llumnix_sim::SimTime;
+
+use crate::request::{Priority, RequestId};
+
+/// Ordering discipline within a scheduling-priority class.
+///
+/// The paper's Llumnix uses FCFS (§4.4.3); shortest-job-first is the classic
+/// head-of-line-blocking mitigation and is implemented for the local-
+/// scheduling interplay the paper names as future work (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueOrder {
+    /// First-come-first-serve by arrival (paper default).
+    #[default]
+    Fcfs,
+    /// Smallest memory demand first (SJF-style); ties by arrival.
+    ShortestFirst,
+}
+
+/// A queued entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    id: RequestId,
+    priority: Priority,
+    arrival: SimTime,
+    demand: u32,
+}
+
+/// Priority + FCFS wait queue.
+///
+/// # Examples
+///
+/// ```
+/// use llumnix_engine::{Priority, RequestId, WaitQueue};
+/// use llumnix_sim::SimTime;
+///
+/// let mut q = WaitQueue::new();
+/// q.insert(RequestId(1), Priority::Normal, SimTime::from_secs(1));
+/// q.insert(RequestId(2), Priority::High, SimTime::from_secs(5));
+/// // High scheduling priority schedules first despite arriving later.
+/// assert_eq!(q.pop_head(), Some(RequestId(2)));
+/// assert_eq!(q.pop_head(), Some(RequestId(1)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WaitQueue {
+    // Kept sorted: highest priority first, then by the order discipline.
+    entries: Vec<Entry>,
+    order: QueueOrder,
+}
+
+impl WaitQueue {
+    /// Creates an empty FCFS queue.
+    pub fn new() -> Self {
+        WaitQueue::default()
+    }
+
+    /// Creates an empty queue with an explicit order discipline.
+    pub fn with_order(order: QueueOrder) -> Self {
+        WaitQueue {
+            entries: Vec::new(),
+            order,
+        }
+    }
+
+    /// Inserts a request in scheduling order. `demand` is its memory demand
+    /// in tokens (only consulted under [`QueueOrder::ShortestFirst`]).
+    pub fn insert(&mut self, id: RequestId, priority: Priority, arrival: SimTime) {
+        self.insert_with_demand(id, priority, arrival, 0)
+    }
+
+    /// [`WaitQueue::insert`] with an explicit memory demand.
+    pub fn insert_with_demand(
+        &mut self,
+        id: RequestId,
+        priority: Priority,
+        arrival: SimTime,
+        demand: u32,
+    ) {
+        let entry = Entry {
+            id,
+            priority,
+            arrival,
+            demand,
+        };
+        let order = self.order;
+        let pos = self
+            .entries
+            .partition_point(|e| Self::before(order, e, &entry));
+        self.entries.insert(pos, entry);
+    }
+
+    /// Strict scheduling order: does `a` schedule before `b`?
+    fn before(order: QueueOrder, a: &Entry, b: &Entry) -> bool {
+        match order {
+            QueueOrder::Fcfs => (b.priority, a.arrival, a.id) < (a.priority, b.arrival, b.id),
+            QueueOrder::ShortestFirst => {
+                (b.priority, a.demand, a.arrival, a.id) < (a.priority, b.demand, b.arrival, b.id)
+            }
+        }
+    }
+
+    /// The head-of-line request, if any.
+    pub fn head(&self) -> Option<RequestId> {
+        self.entries.first().map(|e| e.id)
+    }
+
+    /// Removes and returns the head.
+    pub fn pop_head(&mut self) -> Option<RequestId> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0).id)
+        }
+    }
+
+    /// Removes a specific request (e.g. aborted); returns whether it was
+    /// present.
+    pub fn remove(&mut self, id: RequestId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.id != id);
+        self.entries.len() != before
+    }
+
+    /// Whether `id` is queued.
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Queue length.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates queued ids in scheduling order.
+    pub fn iter(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.entries.iter().map(|e| e.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u64) -> RequestId {
+        RequestId(n)
+    }
+
+    #[test]
+    fn fcfs_within_class() {
+        let mut q = WaitQueue::new();
+        q.insert(rid(2), Priority::Normal, SimTime::from_secs(2));
+        q.insert(rid(1), Priority::Normal, SimTime::from_secs(1));
+        q.insert(rid(3), Priority::Normal, SimTime::from_secs(3));
+        let order: Vec<RequestId> = q.iter().collect();
+        assert_eq!(order, vec![rid(1), rid(2), rid(3)]);
+    }
+
+    #[test]
+    fn high_priority_jumps_ahead() {
+        let mut q = WaitQueue::new();
+        q.insert(rid(1), Priority::Normal, SimTime::from_secs(1));
+        q.insert(rid(2), Priority::Normal, SimTime::from_secs(2));
+        q.insert(rid(9), Priority::High, SimTime::from_secs(100));
+        assert_eq!(q.head(), Some(rid(9)));
+        assert_eq!(q.pop_head(), Some(rid(9)));
+        assert_eq!(q.pop_head(), Some(rid(1)));
+    }
+
+    #[test]
+    fn preempted_request_resumes_near_front() {
+        let mut q = WaitQueue::new();
+        q.insert(rid(5), Priority::Normal, SimTime::from_secs(5));
+        // A preempted request re-enters with its original (earlier) arrival.
+        q.insert(rid(1), Priority::Normal, SimTime::from_secs(1));
+        assert_eq!(q.head(), Some(rid(1)));
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut q = WaitQueue::new();
+        let t = SimTime::from_secs(1);
+        q.insert(rid(7), Priority::Normal, t);
+        q.insert(rid(3), Priority::Normal, t);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![rid(3), rid(7)]);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut q = WaitQueue::new();
+        q.insert(rid(1), Priority::Normal, SimTime::ZERO);
+        q.insert(rid(2), Priority::Normal, SimTime::ZERO);
+        assert!(q.contains(rid(1)));
+        assert!(q.remove(rid(1)));
+        assert!(!q.contains(rid(1)));
+        assert!(!q.remove(rid(1)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn shortest_first_orders_by_demand() {
+        let mut q = WaitQueue::with_order(QueueOrder::ShortestFirst);
+        q.insert_with_demand(rid(1), Priority::Normal, SimTime::from_secs(1), 4_000);
+        q.insert_with_demand(rid(2), Priority::Normal, SimTime::from_secs(2), 100);
+        q.insert_with_demand(rid(3), Priority::Normal, SimTime::from_secs(3), 900);
+        // Smallest demand first regardless of arrival.
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![rid(2), rid(3), rid(1)]);
+        // High scheduling priority still beats demand.
+        q.insert_with_demand(rid(9), Priority::High, SimTime::from_secs(9), 9_000);
+        assert_eq!(q.head(), Some(rid(9)));
+    }
+
+    #[test]
+    fn shortest_first_ties_break_by_arrival() {
+        let mut q = WaitQueue::with_order(QueueOrder::ShortestFirst);
+        q.insert_with_demand(rid(2), Priority::Normal, SimTime::from_secs(2), 64);
+        q.insert_with_demand(rid(1), Priority::Normal, SimTime::from_secs(1), 64);
+        assert_eq!(q.pop_head(), Some(rid(1)));
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = WaitQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.head(), None);
+        assert_eq!(q.pop_head(), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the instance engine and block manager.
+
+use llumnix_engine::{
+    BlockManager, EngineConfig, InstanceEngine, InstanceId, Priority, PriorityPair, RequestId,
+    RequestMeta, WaitQueue,
+};
+use llumnix_model::InstanceSpec;
+use llumnix_sim::SimTime;
+use proptest::prelude::*;
+
+/// A random block-manager operation.
+#[derive(Debug, Clone)]
+enum BlockOp {
+    Allocate(u64, u32),
+    Grow(u64, u32),
+    Release(u64),
+    Reserve(u32),
+    ReleaseReservation(usize),
+    Commit(usize, u64),
+}
+
+fn block_op() -> impl Strategy<Value = BlockOp> {
+    prop_oneof![
+        (0u64..20, 1u32..40).prop_map(|(id, n)| BlockOp::Allocate(id, n)),
+        (0u64..20, 1u32..10).prop_map(|(id, n)| BlockOp::Grow(id, n)),
+        (0u64..20).prop_map(BlockOp::Release),
+        (1u32..40).prop_map(BlockOp::Reserve),
+        (0usize..8).prop_map(BlockOp::ReleaseReservation),
+        ((0usize..8), (20u64..40)).prop_map(|(r, id)| BlockOp::Commit(r, id)),
+    ]
+}
+
+proptest! {
+    /// Under any operation sequence, allocated + reserved + free == total,
+    /// and failed operations leave no residue.
+    #[test]
+    fn block_manager_conserves_blocks(ops in prop::collection::vec(block_op(), 1..200)) {
+        let mut bm = BlockManager::new(120);
+        let mut reservations = Vec::new();
+        for op in ops {
+            match op {
+                BlockOp::Allocate(id, n) => { let _ = bm.allocate(RequestId(id), n); }
+                BlockOp::Grow(id, n) => { let _ = bm.grow(RequestId(id), n); }
+                BlockOp::Release(id) => { let _ = bm.release(RequestId(id)); }
+                BlockOp::Reserve(n) => {
+                    if let Ok(r) = bm.reserve(n) {
+                        reservations.push(r);
+                    }
+                }
+                BlockOp::ReleaseReservation(i) => {
+                    if i < reservations.len() {
+                        let r = reservations.swap_remove(i);
+                        let _ = bm.release_reservation(r);
+                    }
+                }
+                BlockOp::Commit(i, id) => {
+                    if i < reservations.len() {
+                        let r = reservations.swap_remove(i);
+                        let _ = bm.commit_reservation(r, RequestId(id));
+                    }
+                }
+            }
+            prop_assert!(bm.check_invariants(), "block conservation violated");
+            prop_assert!(bm.free_blocks() <= bm.total_blocks());
+        }
+    }
+
+    /// The wait queue always yields strictly by (priority desc, arrival asc,
+    /// id asc), regardless of insertion order.
+    #[test]
+    fn wait_queue_order(entries in prop::collection::vec((0u64..1000, 0u64..100, any::<bool>()), 1..60)) {
+        let mut q = WaitQueue::new();
+        let mut expected: Vec<(Priority, u64, u64)> = Vec::new();
+        for (i, &(arrival, _, high)) in entries.iter().enumerate() {
+            let id = i as u64;
+            let priority = if high { Priority::High } else { Priority::Normal };
+            q.insert(RequestId(id), priority, SimTime::from_micros(arrival));
+            expected.push((priority, arrival, id));
+        }
+        expected.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let drained: Vec<u64> = std::iter::from_fn(|| q.pop_head()).map(|r| r.0).collect();
+        let want: Vec<u64> = expected.iter().map(|e| e.2).collect();
+        prop_assert_eq!(drained, want);
+    }
+
+    /// Any batch of requests that each fit the instance runs to completion
+    /// with exact token conservation and all blocks returned — through any
+    /// pattern of admission blocking and preemption the mix provokes.
+    #[test]
+    fn engine_completes_any_feasible_mix(
+        reqs in prop::collection::vec((1u32..600, 1u32..80, 0u64..50, any::<bool>()), 1..25)
+    ) {
+        let spec = InstanceSpec::tiny_for_tests(1024);
+        let capacity = spec.geometry.capacity_tokens();
+        let mut engine = InstanceEngine::new(InstanceId(0), spec, EngineConfig::default());
+        let mut expected: Vec<(RequestId, u32)> = Vec::new();
+        for (i, &(input, output, arrival, high)) in reqs.iter().enumerate() {
+            let input = input.min(capacity - 80);
+            let output = output.min(capacity - input);
+            let meta = RequestMeta {
+                id: RequestId(i as u64),
+                input_len: input,
+                output_len: output,
+                priority: if high { PriorityPair::HIGH } else { PriorityPair::NORMAL },
+                arrival: SimTime::from_millis(arrival),
+            };
+            engine.add_request(meta, SimTime::from_millis(arrival));
+            expected.push((meta.id, output));
+        }
+        let mut now = SimTime::from_millis(100);
+        let mut steps = 0u32;
+        while let Some(plan) = engine.poll_step(now) {
+            now = plan.finish_at();
+            engine.complete_step(now);
+            steps += 1;
+            prop_assert!(engine.check_invariants());
+            prop_assert!(steps < 60_000, "engine did not converge");
+        }
+        let finished = engine.take_finished();
+        prop_assert_eq!(finished.len(), expected.len());
+        for (id, want_output) in expected {
+            let state = finished.iter().find(|s| s.meta.id == id).expect("finished");
+            if state.aborted {
+                // Only possible if the request could never fit; we sized
+                // everything to fit, so this must not happen.
+                prop_assert!(false, "request {} aborted unexpectedly", id);
+            }
+            prop_assert_eq!(state.generated, want_output, "token conservation for {}", id);
+            prop_assert!(state.first_token_at.is_some());
+        }
+        prop_assert_eq!(engine.free_blocks(), engine.total_blocks());
+        prop_assert!(!engine.has_work());
+    }
+}

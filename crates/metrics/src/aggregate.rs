@@ -1,0 +1,155 @@
+//! Aggregation of request records into the paper's reported metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::percentile::Summary;
+use crate::request::{RecordPriority, RequestRecord};
+
+/// The full latency report for one experiment arm (one scheduler × one trace
+/// × one request rate) — the columns of Figure 11/13/14.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// End-to-end request latency (s).
+    pub e2e: Summary,
+    /// Prefill latency / time-to-first-token (s).
+    pub prefill: Summary,
+    /// Per-token decode latency (s), averaged per request first.
+    pub decode: Summary,
+    /// Per-token decode compute time (s), stall-free.
+    pub decode_compute: Summary,
+    /// Per-request preemption loss (s).
+    pub preemption_loss: Summary,
+    /// Total preemptions across requests.
+    pub total_preemptions: u64,
+    /// Total completed migrations across requests.
+    pub total_migrations: u64,
+    /// Per-migrated-request total downtime (s).
+    pub migration_downtime: Summary,
+    /// Per-request worst inter-token stall (s): preemptions, migration
+    /// downtime, and interference all surface here.
+    pub max_token_gap: Summary,
+}
+
+impl LatencyReport {
+    /// Aggregates all records.
+    pub fn from_records(records: &[RequestRecord]) -> Self {
+        Self::from_filtered(records, |_| true)
+    }
+
+    /// Aggregates only records of the given priority class (Figure 13's
+    /// separate high-priority and normal rows).
+    pub fn for_priority(records: &[RequestRecord], priority: RecordPriority) -> Self {
+        Self::from_filtered(records, |r| r.priority == priority)
+    }
+
+    fn from_filtered(records: &[RequestRecord], keep: impl Fn(&RequestRecord) -> bool) -> Self {
+        let kept: Vec<&RequestRecord> = records.iter().filter(|r| keep(r)).collect();
+        let decode_samples: Vec<f64> = kept
+            .iter()
+            .filter(|r| r.output_len > 1)
+            .map(|r| r.decode_latency_per_token())
+            .collect();
+        let downtime_samples: Vec<f64> = kept
+            .iter()
+            .filter(|r| r.migrations > 0)
+            .map(|r| r.migration_downtime.as_secs_f64())
+            .collect();
+        LatencyReport {
+            e2e: Summary::from_samples(kept.iter().map(|r| r.e2e_latency()).collect()),
+            prefill: Summary::from_samples(kept.iter().map(|r| r.prefill_latency()).collect()),
+            decode: Summary::from_samples(decode_samples),
+            decode_compute: Summary::from_samples(
+                kept.iter().map(|r| r.decode_compute_per_token()).collect(),
+            ),
+            preemption_loss: Summary::from_samples(
+                kept.iter().map(|r| r.preemption_loss_secs()).collect(),
+            ),
+            total_preemptions: kept.iter().map(|r| r.preemptions as u64).sum(),
+            total_migrations: kept.iter().map(|r| r.migrations as u64).sum(),
+            migration_downtime: Summary::from_samples(downtime_samples),
+            max_token_gap: Summary::from_samples(
+                kept.iter()
+                    .filter(|r| r.output_len > 1)
+                    .map(|r| r.max_token_gap.as_secs_f64())
+                    .collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llumnix_sim::{SimDuration, SimTime};
+
+    fn rec(id: u64, priority: RecordPriority, e2e_secs: u64, preempted: bool) -> RequestRecord {
+        RequestRecord {
+            id,
+            priority,
+            input_len: 32,
+            output_len: 8,
+            arrival: SimTime::ZERO,
+            first_token: SimTime::from_secs(1),
+            finish: SimTime::from_secs(e2e_secs),
+            preemptions: preempted as u32,
+            preemption_loss: if preempted {
+                SimDuration::from_secs(2)
+            } else {
+                SimDuration::ZERO
+            },
+            migrations: 0,
+            migration_downtime: SimDuration::ZERO,
+            decode_compute: SimDuration::from_millis(8 * 25),
+            max_token_gap: SimDuration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn aggregates_basic_stats() {
+        let records = vec![
+            rec(1, RecordPriority::Normal, 5, false),
+            rec(2, RecordPriority::Normal, 10, true),
+            rec(3, RecordPriority::High, 3, false),
+        ];
+        let report = LatencyReport::from_records(&records);
+        assert_eq!(report.e2e.count, 3);
+        assert!((report.e2e.mean - 6.0).abs() < 1e-9);
+        assert_eq!(report.total_preemptions, 1);
+        assert!((report.preemption_loss.mean - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filters_by_priority() {
+        let records = vec![
+            rec(1, RecordPriority::Normal, 5, false),
+            rec(2, RecordPriority::High, 3, false),
+            rec(3, RecordPriority::High, 4, false),
+        ];
+        let high = LatencyReport::for_priority(&records, RecordPriority::High);
+        assert_eq!(high.e2e.count, 2);
+        assert!((high.e2e.mean - 3.5).abs() < 1e-9);
+        let normal = LatencyReport::for_priority(&records, RecordPriority::Normal);
+        assert_eq!(normal.e2e.count, 1);
+    }
+
+    #[test]
+    fn decode_excludes_single_token_outputs() {
+        let mut a = rec(1, RecordPriority::Normal, 5, false);
+        a.output_len = 1;
+        let b = rec(2, RecordPriority::Normal, 5, false);
+        let report = LatencyReport::from_records(&[a, b]);
+        assert_eq!(report.decode.count, 1);
+    }
+
+    #[test]
+    fn migration_downtime_only_counts_migrated() {
+        let mut a = rec(1, RecordPriority::Normal, 5, false);
+        a.migrations = 2;
+        a.migration_downtime = SimDuration::from_millis(50);
+        let b = rec(2, RecordPriority::Normal, 5, false);
+        let report = LatencyReport::from_records(&[a, b]);
+        assert_eq!(report.total_migrations, 2);
+        assert_eq!(report.migration_downtime.count, 1);
+        assert!((report.migration_downtime.mean - 0.05).abs() < 1e-9);
+    }
+}

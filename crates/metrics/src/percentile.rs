@@ -1,0 +1,152 @@
+//! Exact percentile computation and latency summaries.
+//!
+//! The paper reports mean and P99 latencies (plus P50/P80/P95 for the Table 1
+//! length distributions), so the summary type carries exactly those
+//! statistics. Percentiles use the standard linear-interpolation definition
+//! over sorted samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Computes the `q`-quantile (`0.0 ..= 1.0`) of `sorted` samples with linear
+/// interpolation. Returns 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics in debug builds if `sorted` is not sorted ascending.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be sorted"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Summary statistics over a set of latency (or other scalar) samples.
+///
+/// # Examples
+///
+/// ```
+/// use llumnix_metrics::Summary;
+///
+/// let s = Summary::from_samples((1..=100).map(f64::from).collect());
+/// assert_eq!(s.count, 100);
+/// assert!((s.mean - 50.5).abs() < 1e-9);
+/// assert!((s.p99 - 99.01).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 80th percentile.
+    pub p80: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Builds a summary from unsorted samples.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| x.is_finite());
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            p50: percentile(&samples, 0.50),
+            p80: percentile(&samples, 0.80),
+            p95: percentile(&samples, 0.95),
+            p99: percentile(&samples, 0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+
+    /// Whether the summary holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let s = Summary::from_samples(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(vec![7.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn interpolates_between_samples() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.5), 5.0);
+        assert_eq!(percentile(&sorted, 0.0), 0.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+        assert_eq!(percentile(&sorted, 0.25), 2.5);
+    }
+
+    #[test]
+    fn known_distribution() {
+        // 1..=100 — percentiles are easy to check by hand.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::from_samples(samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p50 - 50.5).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped() {
+        let s = Summary::from_samples(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let samples: Vec<f64> = (0..57).map(|i| (i * i) as f64).collect();
+        let s = Summary::from_samples(samples);
+        assert!(s.p50 <= s.p80);
+        assert!(s.p80 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.max);
+    }
+}

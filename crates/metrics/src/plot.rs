@@ -1,0 +1,164 @@
+//! Terminal plotting and CSV export for time series.
+//!
+//! The benchmark binaries and CLI are terminal-first; a braille-free ASCII
+//! sparkline is enough to see a fleet scaling up or fragmentation spiking
+//! without leaving the shell, and CSV export feeds external plotting.
+
+use std::fmt::Write as _;
+
+use crate::timeline::TimeSeries;
+
+const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders samples as a unicode sparkline, resampled to `width` buckets
+/// (mean per bucket). Returns an empty string for an empty series.
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    let points = series.points();
+    if points.is_empty() || width == 0 {
+        return String::new();
+    }
+    let values = resample(points.iter().map(|&(_, v)| v), points.len(), width);
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+/// A sparkline with a `min..max` annotation, e.g. `▁▂▅█▃ (1..16)`.
+pub fn sparkline_annotated(series: &TimeSeries, width: usize) -> String {
+    if series.is_empty() {
+        return String::from("(empty)");
+    }
+    let lo = series
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    format!(
+        "{} ({}..{})",
+        sparkline(series, width),
+        trim_float(lo),
+        trim_float(series.max())
+    )
+}
+
+fn trim_float(v: f64) -> f64 {
+    // Round to 3 significant-ish decimals for the annotation.
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Mean-resamples `n` values into `width` buckets.
+fn resample(values: impl Iterator<Item = f64>, n: usize, width: usize) -> Vec<f64> {
+    let values: Vec<f64> = values.collect();
+    if n <= width {
+        return values;
+    }
+    let mut out = Vec::with_capacity(width);
+    for b in 0..width {
+        let start = b * n / width;
+        let end = (((b + 1) * n) / width).max(start + 1);
+        let bucket = &values[start..end.min(n)];
+        out.push(bucket.iter().sum::<f64>() / bucket.len() as f64);
+    }
+    out
+}
+
+/// Serializes one or more aligned time series as CSV (`time_s,<name>...`).
+/// Series are joined on sample index; shorter series leave blanks.
+pub fn to_csv(series: &[&TimeSeries]) -> String {
+    let mut out = String::from("time_s");
+    for s in series {
+        let _ = write!(out, ",{}", s.name);
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let t = series
+            .iter()
+            .find_map(|s| s.points().get(i).map(|&(t, _)| t))
+            .map(|t| t.as_secs_f64())
+            .unwrap_or(0.0);
+        let _ = write!(out, "{t:.3}");
+        for s in series {
+            match s.points().get(i) {
+                Some(&(_, v)) => {
+                    let _ = write!(out, ",{v}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llumnix_sim::SimTime;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        let mut ts = TimeSeries::new("s");
+        for (i, &v) in values.iter().enumerate() {
+            ts.push(SimTime::from_secs(i as u64), v);
+        }
+        ts
+    }
+
+    #[test]
+    fn sparkline_shows_shape() {
+        let s = sparkline(&series(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]), 8);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn sparkline_resamples_down() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let s = sparkline(&series(&values), 10);
+        assert_eq!(s.chars().count(), 10);
+        // Monotone input stays monotone after resampling.
+        let glyphs: Vec<usize> = s
+            .chars()
+            .map(|c| LEVELS.iter().position(|&l| l == c).expect("level"))
+            .collect();
+        assert!(glyphs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sparkline_flat_series() {
+        let s = sparkline(&series(&[5.0, 5.0, 5.0]), 3);
+        assert_eq!(s.chars().count(), 3);
+        // All the same glyph.
+        assert_eq!(s.chars().collect::<std::collections::HashSet<_>>().len(), 1);
+    }
+
+    #[test]
+    fn sparkline_empty() {
+        assert_eq!(sparkline(&TimeSeries::new("e"), 10), "");
+        assert_eq!(sparkline_annotated(&TimeSeries::new("e"), 10), "(empty)");
+    }
+
+    #[test]
+    fn annotated_includes_range() {
+        let s = sparkline_annotated(&series(&[1.0, 16.0]), 2);
+        assert!(s.contains("(1..16)"), "{s}");
+    }
+
+    #[test]
+    fn csv_joins_series() {
+        let a = series(&[1.0, 2.0]);
+        let mut b = TimeSeries::new("other");
+        b.push(SimTime::from_secs(0), 9.0);
+        let csv = to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,s,other");
+        assert_eq!(lines[1], "0.000,1,9");
+        assert_eq!(lines[2], "1.000,2,");
+    }
+}

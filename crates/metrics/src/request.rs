@@ -1,0 +1,129 @@
+//! Per-request measurement records and their derived latencies.
+//!
+//! The paper's key metrics (§6.1) are request latency end-to-end, *prefill*
+//! (time to first generated token, dominated by queuing delay), and *decode*
+//! (time from first to last token, averaged over generated tokens), plus the
+//! *preemption loss* — extra queuing and recompute time caused by
+//! preemptions (§3, Figure 3).
+
+use llumnix_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Priority class of a request as recorded for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordPriority {
+    /// Normal-priority request.
+    Normal,
+    /// High-priority request (scheduling and/or execution priority).
+    High,
+}
+
+/// Everything measured about one served request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Request id (engine-assigned, unique per trace).
+    pub id: u64,
+    /// Priority class for per-class reporting.
+    pub priority: RecordPriority,
+    /// Prompt length in tokens.
+    pub input_len: u32,
+    /// Generated length in tokens.
+    pub output_len: u32,
+    /// Arrival at the cluster frontend.
+    pub arrival: SimTime,
+    /// First token emitted (prefill completed).
+    pub first_token: SimTime,
+    /// Last token emitted (request finished).
+    pub finish: SimTime,
+    /// Number of times the request was preempted.
+    pub preemptions: u32,
+    /// Extra latency caused by preemptions: re-queuing plus KV recompute.
+    pub preemption_loss: SimDuration,
+    /// Number of completed live migrations of this request.
+    pub migrations: u32,
+    /// Total downtime the request observed across its migrations.
+    pub migration_downtime: SimDuration,
+    /// Pure decode compute time summed over generated tokens (excludes
+    /// queuing/stall time) — Figure 13's "decode computation" column.
+    pub decode_compute: SimDuration,
+    /// The longest gap between consecutive emitted tokens — the worst
+    /// user-visible stall this request experienced.
+    pub max_token_gap: SimDuration,
+}
+
+impl RequestRecord {
+    /// End-to-end latency in seconds.
+    pub fn e2e_latency(&self) -> f64 {
+        self.finish.since(self.arrival).as_secs_f64()
+    }
+
+    /// Prefill latency (time to first token, including queuing) in seconds.
+    pub fn prefill_latency(&self) -> f64 {
+        self.first_token.since(self.arrival).as_secs_f64()
+    }
+
+    /// Mean per-token decode latency in seconds, averaged over all decode
+    /// iterations (paper §3). Zero when only one token was generated.
+    pub fn decode_latency_per_token(&self) -> f64 {
+        if self.output_len <= 1 {
+            return 0.0;
+        }
+        self.finish.since(self.first_token).as_secs_f64() / (self.output_len - 1) as f64
+    }
+
+    /// Mean per-token decode *compute* time in seconds (no stalls).
+    pub fn decode_compute_per_token(&self) -> f64 {
+        if self.output_len == 0 {
+            return 0.0;
+        }
+        self.decode_compute.as_secs_f64() / self.output_len as f64
+    }
+
+    /// Preemption loss in seconds.
+    pub fn preemption_loss_secs(&self) -> f64 {
+        self.preemption_loss.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RequestRecord {
+        RequestRecord {
+            id: 1,
+            priority: RecordPriority::Normal,
+            input_len: 100,
+            output_len: 11,
+            arrival: SimTime::from_secs(10),
+            first_token: SimTime::from_secs(12),
+            finish: SimTime::from_secs(17),
+            preemptions: 1,
+            preemption_loss: SimDuration::from_millis(1500),
+            migrations: 2,
+            migration_downtime: SimDuration::from_millis(50),
+            decode_compute: SimDuration::from_millis(330),
+            max_token_gap: SimDuration::from_millis(700),
+        }
+    }
+
+    #[test]
+    fn derived_latencies() {
+        let r = record();
+        assert!((r.e2e_latency() - 7.0).abs() < 1e-9);
+        assert!((r.prefill_latency() - 2.0).abs() < 1e-9);
+        // 5 s of decode over 10 decode iterations.
+        assert!((r.decode_latency_per_token() - 0.5).abs() < 1e-9);
+        assert!((r.decode_compute_per_token() - 0.03).abs() < 1e-9);
+        assert!((r.preemption_loss_secs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_token_output_has_zero_decode() {
+        let mut r = record();
+        r.output_len = 1;
+        assert_eq!(r.decode_latency_per_token(), 0.0);
+        r.output_len = 0;
+        assert_eq!(r.decode_compute_per_token(), 0.0);
+    }
+}

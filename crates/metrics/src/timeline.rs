@@ -1,0 +1,175 @@
+//! Time-series collection for cluster-level metrics.
+//!
+//! Figures 5 and 12 plot cluster quantities over time (free memory vs
+//! head-of-line demand, fragmented-memory proportion); Figures 14/15 need the
+//! time-averaged instance count as the cost metric. [`TimeSeries`] records
+//! `(time, value)` samples and provides those aggregations.
+
+use llumnix_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(time, value)` samples, appended in time order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series name (used as a column header in reports).
+    pub name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a sample. Out-of-order samples are rejected (logic error).
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(
+                at >= last,
+                "time series '{}' sample at {at} precedes {last}",
+                self.name
+            );
+        }
+        self.points.push((at, value));
+    }
+
+    /// All samples in time order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Simple arithmetic mean over sample values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Time-weighted average: each sample's value holds until the next
+    /// sample. Equals `mean()` only for evenly spaced samples.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.points.len() < 2 {
+            return self.points.first().map_or(0.0, |&(_, v)| v);
+        }
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0.since(w[0].0).as_secs_f64();
+            weighted += w[0].1 * dt;
+            total += dt;
+        }
+        if total == 0.0 {
+            self.mean()
+        } else {
+            weighted / total
+        }
+    }
+
+    /// Maximum sample value (0.0 if empty).
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Fraction of samples strictly above `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let above = self.points.iter().filter(|&&(_, v)| v > threshold).count();
+        above as f64 / self.points.len() as f64
+    }
+
+    /// Restricts to samples in `[from, to)`, returning a new series.
+    pub fn window(&self, from: SimTime, to: SimTime) -> TimeSeries {
+        TimeSeries {
+            name: self.name.clone(),
+            points: self
+                .points
+                .iter()
+                .filter(|&&(t, _)| t >= from && t < to)
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max() {
+        let mut ts = TimeSeries::new("load");
+        ts.push(SimTime::from_secs(0), 1.0);
+        ts.push(SimTime::from_secs(1), 3.0);
+        ts.push(SimTime::from_secs(2), 2.0);
+        assert_eq!(ts.len(), 3);
+        assert!((ts.mean() - 2.0).abs() < 1e-9);
+        assert_eq!(ts.max(), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_respects_spacing() {
+        let mut ts = TimeSeries::new("instances");
+        // Value 2 for 9 s, then value 10 for 1 s.
+        ts.push(SimTime::from_secs(0), 2.0);
+        ts.push(SimTime::from_secs(9), 10.0);
+        ts.push(SimTime::from_secs(10), 10.0);
+        let twm = ts.time_weighted_mean();
+        assert!((twm - 2.8).abs() < 1e-9, "time-weighted mean {twm}");
+        // Plain mean would be badly skewed.
+        assert!((ts.mean() - 22.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_above() {
+        let mut ts = TimeSeries::new("frag");
+        for (i, v) in [0.0, 0.05, 0.2, 0.15, 0.0].iter().enumerate() {
+            ts.push(SimTime::from_secs(i as u64), *v);
+        }
+        assert!((ts.fraction_above(0.1) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_filters_samples() {
+        let mut ts = TimeSeries::new("x");
+        for i in 0..10 {
+            ts.push(SimTime::from_secs(i), i as f64);
+        }
+        let w = ts.window(SimTime::from_secs(3), SimTime::from_secs(7));
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.points()[0].1, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn rejects_out_of_order() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(SimTime::from_secs(5), 1.0);
+        ts.push(SimTime::from_secs(4), 1.0);
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let ts = TimeSeries::new("e");
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.time_weighted_mean(), 0.0);
+        assert_eq!(ts.fraction_above(0.0), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Property tests for percentile and summary computation.
+
+use llumnix_metrics::{percentile, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Percentiles are monotone in q and bounded by min/max of the data.
+    #[test]
+    fn percentiles_monotone_and_bounded(mut samples in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let lo = samples[0];
+        let hi = *samples.last().expect("non-empty");
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let p = percentile(&samples, q);
+            prop_assert!(p >= prev - 1e-9);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            prev = p;
+        }
+        prop_assert!((percentile(&samples, 0.0) - lo).abs() < 1e-9);
+        prop_assert!((percentile(&samples, 1.0) - hi).abs() < 1e-9);
+    }
+
+    /// Summary statistics are internally consistent for any sample set.
+    #[test]
+    fn summary_consistency(samples in prop::collection::vec(0.0f64..1e6, 1..300)) {
+        let s = Summary::from_samples(samples.clone());
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.p50 <= s.p80 + 1e-9);
+        prop_assert!(s.p80 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(s.mean >= min - 1e-9);
+    }
+
+    /// Scaling all samples scales the summary linearly.
+    #[test]
+    fn summary_scales_linearly(samples in prop::collection::vec(0.1f64..1e3, 2..100), k in 0.1f64..100.0) {
+        let a = Summary::from_samples(samples.clone());
+        let b = Summary::from_samples(samples.iter().map(|x| x * k).collect());
+        prop_assert!((b.mean - a.mean * k).abs() < a.mean * k * 1e-9 + 1e-9);
+        prop_assert!((b.p99 - a.p99 * k).abs() < a.p99 * k * 1e-9 + 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Migration identifiers, configuration, and outcome types.
+
+use llumnix_engine::{InstanceId, RequestId};
+use llumnix_sim::{SimDuration, SimTime};
+
+/// Unique identifier of one migration attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MigrationId(pub u64);
+
+impl core::fmt::Display for MigrationId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Why a migration was aborted. Mirrors the abort arms of the paper's
+/// Figure 7 handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The destination could not reserve (or grow) the required blocks.
+    DestinationOutOfMemory,
+    /// The request finished at the source during migration.
+    RequestFinished,
+    /// The request was preempted at the source during migration.
+    RequestPreempted,
+    /// The request was not in a migratable phase when migration started.
+    RequestNotMigratable,
+    /// The source instance failed.
+    SourceFailed,
+    /// The destination instance failed.
+    DestinationFailed,
+}
+
+impl core::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            AbortReason::DestinationOutOfMemory => "destination out of memory",
+            AbortReason::RequestFinished => "request finished mid-migration",
+            AbortReason::RequestPreempted => "request preempted mid-migration",
+            AbortReason::RequestNotMigratable => "request not migratable",
+            AbortReason::SourceFailed => "source instance failed",
+            AbortReason::DestinationFailed => "destination instance failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Migration tunables.
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Upper bound on copy stages before the final stage is forced,
+    /// guaranteeing termination even if decode outpaces copying.
+    pub max_stages: u32,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig { max_stages: 16 }
+    }
+}
+
+/// Result of starting a migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartOutcome {
+    /// Stage 0 copying began; a stage-done event should fire at `stage_done_at`.
+    Started {
+        /// The new migration's id.
+        id: MigrationId,
+        /// When stage 0's copy completes.
+        stage_done_at: SimTime,
+    },
+    /// The handshake refused the migration (no state was created).
+    Refused(AbortReason),
+}
+
+/// Result of a stage-done event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// Another background stage began; schedule the next stage-done event.
+    NextStage {
+        /// When the next stage's copy completes.
+        copy_done_at: SimTime,
+    },
+    /// The remaining delta is small: a drain was requested and will complete
+    /// at the source's next step boundary (wait for the `Drained` event).
+    DrainRequested,
+    /// The source was idle, so the drain happened immediately and the final
+    /// copy is under way; schedule the commit event.
+    FinalCopy {
+        /// When the commit fires and the request resumes on the destination.
+        commit_at: SimTime,
+    },
+    /// The migration aborted (reservation released, source state intact).
+    Aborted(AbortReason),
+}
+
+/// Result of a commit event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// The migrated request.
+    pub request: RequestId,
+    /// Source instance it left.
+    pub src: InstanceId,
+    /// Destination instance it resumed on.
+    pub dst: InstanceId,
+    /// Downtime the request observed (drain → resume).
+    pub downtime: SimDuration,
+    /// Number of copy stages used (including the final one).
+    pub stages: u32,
+}

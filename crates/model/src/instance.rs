@@ -1,0 +1,81 @@
+//! Full description of one serving instance type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CalibratedCostModel;
+use crate::memory::{presets, BlockGeometry};
+use crate::specs::ModelSpec;
+use crate::transfer::TransferModel;
+
+/// Everything the engine needs to know about one instance type: the model it
+/// serves, its KV-block geometry, its step-latency model, and the transfer
+/// model used when migrating requests off it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// The served model.
+    pub model: ModelSpec,
+    /// KV-cache block geometry.
+    pub geometry: BlockGeometry,
+    /// Step-latency model.
+    pub cost: CalibratedCostModel,
+    /// Inter-instance KV transfer model.
+    pub transfer: TransferModel,
+}
+
+impl InstanceSpec {
+    /// One LLaMA-7B instance on an A10 — the paper's main configuration
+    /// (16 such instances in §6.3–6.5, 64 in §6.6).
+    pub fn llama_7b_a10() -> Self {
+        InstanceSpec {
+            model: ModelSpec::llama_7b(),
+            geometry: presets::llama_7b_a10(),
+            cost: CalibratedCostModel::llama_7b_a10(),
+            transfer: TransferModel::alibaba_vm_network(),
+        }
+    }
+
+    /// One LLaMA-30B instance on 4×A10 with tensor parallelism (§6.2).
+    pub fn llama_30b_4xa10() -> Self {
+        InstanceSpec {
+            model: ModelSpec::llama_30b(),
+            geometry: presets::llama_30b_4xa10(),
+            cost: CalibratedCostModel::llama_30b_4xa10(),
+            transfer: TransferModel::alibaba_vm_network(),
+        }
+    }
+
+    /// A scaled-down instance for fast unit and integration tests: same
+    /// dynamics, tiny capacity so memory pressure is easy to provoke.
+    pub fn tiny_for_tests(capacity_tokens: u32) -> Self {
+        let model = ModelSpec::llama_7b();
+        InstanceSpec {
+            geometry: BlockGeometry::new(&model, capacity_tokens, 16),
+            model,
+            cost: CalibratedCostModel::llama_7b_a10(),
+            transfer: TransferModel::alibaba_vm_network(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let s = InstanceSpec::llama_7b_a10();
+        assert_eq!(s.model.name, "LLaMA-7B");
+        assert_eq!(s.geometry.total_blocks, 851);
+        assert_eq!(s.cost.name, "LLaMA-7B@A10");
+        let b = InstanceSpec::llama_30b_4xa10();
+        assert_eq!(b.model.tensor_parallel, 4);
+        assert!(b.geometry.bytes_per_block > s.geometry.bytes_per_block);
+    }
+
+    #[test]
+    fn tiny_spec_rounds_capacity_to_blocks() {
+        let s = InstanceSpec::tiny_for_tests(100);
+        assert_eq!(s.geometry.total_blocks, 6);
+        assert_eq!(s.geometry.capacity_tokens(), 96);
+    }
+}

@@ -1,0 +1,147 @@
+//! KV-cache transfer model.
+//!
+//! Migration copies KV blocks between instances on different machines. The
+//! paper's implementation (§5) uses Gloo Send/Recv over the VMs' 64 Gb/s
+//! network, staging blocks through CPU memory over PCIe in a side CUDA
+//! stream, and *fuses* the many small per-layer blocks into one contiguous
+//! buffer per stage to avoid per-message overheads. This module models those
+//! costs so the stage planner and the Figure 10 baselines can be compared.
+
+use llumnix_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::specs::ModelSpec;
+
+/// How the KV cache of a stage is shipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferMode {
+    /// Blocks are fused into one contiguous CPU buffer per stage (paper §5).
+    GlooFused,
+    /// Every per-layer 128 KiB block is sent as its own message.
+    GlooUnfused,
+}
+
+/// Bandwidth/latency model for inter-instance KV transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Machine-to-machine network bandwidth, bytes/s (64 Gb/s ⇒ 8e9).
+    pub network_bandwidth: f64,
+    /// Host↔device staging bandwidth per side, bytes/s (PCIe 4.0 ×16 ⇒ 32e9).
+    pub pcie_bandwidth: f64,
+    /// Fixed cost per network message.
+    pub per_message_overhead: SimDuration,
+    /// One pre-allocate handshake round trip (paper Figure 7).
+    pub handshake_rtt: SimDuration,
+    /// Fixed cost to drain the request from the source batch, commit, and
+    /// resume it on the destination — the constant part of the downtime.
+    pub commit_overhead: SimDuration,
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        Self::alibaba_vm_network()
+    }
+}
+
+impl TransferModel {
+    /// The paper's testbed: ecs.gn7i VMs with 64 Gb/s network and PCIe 4.0.
+    pub fn alibaba_vm_network() -> Self {
+        TransferModel {
+            network_bandwidth: 8e9,
+            pcie_bandwidth: 32e9,
+            per_message_overhead: SimDuration::from_micros(50),
+            handshake_rtt: SimDuration::from_micros(500),
+            commit_overhead: SimDuration::from_millis(20),
+        }
+    }
+
+    /// Effective end-to-end copy bandwidth: the network hop plus a PCIe
+    /// staging pass on each side, pipelined per stage.
+    pub fn effective_bandwidth(&self) -> f64 {
+        1.0 / (1.0 / self.network_bandwidth + 2.0 / self.pcie_bandwidth)
+    }
+
+    /// Number of unfused messages for `tokens` tokens: one message per
+    /// (16-token block × layer × {K, V}).
+    pub fn unfused_messages(&self, tokens: u32, model: &ModelSpec) -> u64 {
+        let positions = tokens.div_ceil(16) as u64;
+        positions * model.layers as u64 * 2
+    }
+
+    /// Time to copy the KV cache of `tokens` tokens of `model`.
+    pub fn copy_time(&self, tokens: u32, model: &ModelSpec, mode: TransferMode) -> SimDuration {
+        if tokens == 0 {
+            return SimDuration::ZERO;
+        }
+        let bytes = model.kv_bytes_per_token() * tokens as u64;
+        let wire = SimDuration::from_secs_f64(bytes as f64 / self.effective_bandwidth());
+        let messages = match mode {
+            TransferMode::GlooFused => 1,
+            TransferMode::GlooUnfused => self.unfused_messages(tokens, model),
+        };
+        wire + self.per_message_overhead.saturating_mul(messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_bandwidth_below_network() {
+        let t = TransferModel::default();
+        let eff = t.effective_bandwidth();
+        assert!(eff < t.network_bandwidth);
+        assert!(eff > 5e9, "effective bandwidth {eff:.2e} too low");
+    }
+
+    #[test]
+    fn copy_time_scales_with_tokens() {
+        let t = TransferModel::default();
+        let m = ModelSpec::llama_7b();
+        let one_k = t.copy_time(1024, &m, TransferMode::GlooFused);
+        let eight_k = t.copy_time(8192, &m, TransferMode::GlooFused);
+        assert!(eight_k > one_k.saturating_mul(7));
+        assert!(eight_k < one_k.saturating_mul(9));
+        // 8k tokens × 512 KiB ≈ 4 GiB at ~5.3 GB/s ⇒ several hundred ms.
+        let secs = eight_k.as_secs_f64();
+        assert!((0.4..1.5).contains(&secs), "8k copy = {secs:.2}s");
+    }
+
+    #[test]
+    fn zero_tokens_is_free() {
+        let t = TransferModel::default();
+        let m = ModelSpec::llama_7b();
+        assert_eq!(
+            t.copy_time(0, &m, TransferMode::GlooFused),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn block_fusion_wins_on_small_messages() {
+        // Paper §5: 1k tokens of LLaMA-7B is 4k blocks of 128 KiB; sending
+        // them unfused pays 4096 per-message overheads.
+        let t = TransferModel::default();
+        let m = ModelSpec::llama_7b();
+        assert_eq!(t.unfused_messages(1024, &m), 4096);
+        let fused = t.copy_time(1024, &m, TransferMode::GlooFused);
+        let unfused = t.copy_time(1024, &m, TransferMode::GlooUnfused);
+        assert!(
+            unfused.as_secs_f64() > fused.as_secs_f64() * 2.0,
+            "fusion should cut transfer time: fused {fused}, unfused {unfused}"
+        );
+    }
+
+    #[test]
+    fn single_token_copy_is_submillisecond_wire_time() {
+        // The final migration stage copies roughly one iteration of KV; its
+        // wire time must be far below the commit overhead for the paper's
+        // constant ~20–30 ms downtime to hold.
+        let t = TransferModel::default();
+        let m = ModelSpec::llama_7b();
+        let final_stage = t.copy_time(16, &m, TransferMode::GlooFused);
+        assert!(final_stage < SimDuration::from_millis(5));
+        assert!(t.commit_overhead >= SimDuration::from_millis(10));
+    }
+}

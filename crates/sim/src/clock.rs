@@ -1,0 +1,107 @@
+//! A monotonic simulation clock.
+
+use crate::time::{SimDuration, SimTime};
+
+/// The simulation clock. Time only moves forward; attempting to move it
+/// backwards is a logic error surfaced as [`ClockError::TimeWentBackwards`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+/// Errors from clock manipulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockError {
+    /// An advance target earlier than the current time was requested.
+    TimeWentBackwards {
+        /// The clock's current time.
+        now: SimTime,
+        /// The requested (earlier) target.
+        target: SimTime,
+    },
+}
+
+impl core::fmt::Display for ClockError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClockError::TimeWentBackwards { now, target } => {
+                write!(f, "clock at {now} asked to move back to {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClockError {}
+
+impl Clock {
+    /// A clock at the simulation epoch.
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock to `target`.
+    ///
+    /// Advancing to the current time is a no-op; moving backwards is an error.
+    pub fn advance_to(&mut self, target: SimTime) -> Result<(), ClockError> {
+        if target < self.now {
+            return Err(ClockError::TimeWentBackwards {
+                now: self.now,
+                target,
+            });
+        }
+        self.now = target;
+        Ok(())
+    }
+
+    /// Advances the clock by `dur`.
+    pub fn advance_by(&mut self, dur: SimDuration) {
+        self.now += dur;
+    }
+
+    /// Time elapsed since `earlier` (zero if `earlier` is in the future).
+    pub fn elapsed_since(&self, earlier: SimTime) -> SimDuration {
+        self.now.since(earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_forward() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime::from_secs(5)).unwrap();
+        assert_eq!(c.now(), SimTime::from_secs(5));
+        c.advance_by(SimDuration::from_secs(1));
+        assert_eq!(c.now(), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn rejects_backwards() {
+        let mut c = Clock::new();
+        c.advance_to(SimTime::from_secs(5)).unwrap();
+        let err = c.advance_to(SimTime::from_secs(4)).unwrap_err();
+        assert!(matches!(err, ClockError::TimeWentBackwards { .. }));
+        assert_eq!(c.now(), SimTime::from_secs(5));
+        // Same-time advance is allowed.
+        c.advance_to(SimTime::from_secs(5)).unwrap();
+    }
+
+    #[test]
+    fn elapsed_since() {
+        let mut c = Clock::new();
+        c.advance_to(SimTime::from_secs(10)).unwrap();
+        assert_eq!(
+            c.elapsed_since(SimTime::from_secs(4)),
+            SimDuration::from_secs(6)
+        );
+        assert_eq!(c.elapsed_since(SimTime::from_secs(11)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,205 @@
+//! Request arrival processes.
+//!
+//! The paper's traces (§6.1) draw arrivals from a Poisson process at a given
+//! request rate, or from a Gamma renewal process whose coefficient of
+//! variation (CV) controls burstiness (CV = 1 recovers Poisson; higher CVs
+//! produce the load spikes Figures 13 and 14 sweep over).
+
+use llumnix_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::sampling::{exponential, gamma};
+
+/// A renewal arrival process generating inter-arrival gaps.
+pub trait ArrivalProcess {
+    /// Draws the next inter-arrival gap.
+    fn next_gap(&self, rng: &mut SimRng) -> SimDuration;
+
+    /// The process's mean request rate (requests per second).
+    fn rate(&self) -> f64;
+}
+
+/// Poisson arrivals at `rate` requests/second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poisson {
+    /// Mean request rate, req/s.
+    pub rate: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Poisson { rate }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_gap(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(exponential(rng, self.rate))
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Gamma-renewal arrivals: mean rate `rate`, burstiness set by `cv`.
+///
+/// Inter-arrival gaps are Gamma distributed with shape `1/cv²` and scale
+/// `cv²/rate`, giving mean `1/rate` and coefficient of variation `cv`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammaArrivals {
+    /// Mean request rate, req/s.
+    pub rate: f64,
+    /// Coefficient of variation of inter-arrival gaps.
+    pub cv: f64,
+}
+
+impl GammaArrivals {
+    /// Creates a Gamma arrival process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` or `cv` is not positive and finite.
+    pub fn new(rate: f64, cv: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        assert!(cv.is_finite() && cv > 0.0, "cv must be positive");
+        GammaArrivals { rate, cv }
+    }
+
+    /// The Gamma shape parameter `1/cv²`.
+    pub fn shape(&self) -> f64 {
+        1.0 / (self.cv * self.cv)
+    }
+
+    /// The Gamma scale parameter `cv²/rate`.
+    pub fn scale(&self) -> f64 {
+        self.cv * self.cv / self.rate
+    }
+}
+
+impl ArrivalProcess for GammaArrivals {
+    fn next_gap(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(gamma(rng, self.shape(), self.scale()))
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Type-erased arrival process, for trace specs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Arrivals {
+    /// Poisson arrivals.
+    Poisson(Poisson),
+    /// Gamma-renewal arrivals.
+    Gamma(GammaArrivals),
+}
+
+impl Arrivals {
+    /// Poisson at `rate` req/s.
+    pub fn poisson(rate: f64) -> Self {
+        Arrivals::Poisson(Poisson::new(rate))
+    }
+
+    /// Gamma at `rate` req/s with coefficient of variation `cv`.
+    pub fn gamma(rate: f64, cv: f64) -> Self {
+        Arrivals::Gamma(GammaArrivals::new(rate, cv))
+    }
+}
+
+impl ArrivalProcess for Arrivals {
+    fn next_gap(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            Arrivals::Poisson(p) => p.next_gap(rng),
+            Arrivals::Gamma(g) => g.next_gap(rng),
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        match self {
+            Arrivals::Poisson(p) => p.rate(),
+            Arrivals::Gamma(g) => g.rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaps(process: &impl ArrivalProcess, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SimRng::new(seed);
+        (0..n)
+            .map(|_| process.next_gap(&mut rng).as_secs_f64())
+            .collect()
+    }
+
+    fn cv_of(samples: &[f64]) -> f64 {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        var.sqrt() / mean
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let p = Poisson::new(2.0);
+        let g = gaps(&p, 50_000, 1);
+        let mean = g.iter().sum::<f64>() / g.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean gap {mean}");
+        // Poisson CV is 1.
+        assert!((cv_of(&g) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn gamma_cv_controls_burstiness() {
+        for cv in [0.5, 1.0, 2.0, 4.0] {
+            let g = GammaArrivals::new(2.0, cv);
+            let samples = gaps(&g, 80_000, 42);
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            assert!((mean - 0.5).abs() < 0.02, "cv {cv}: mean gap {mean}");
+            let measured = cv_of(&samples);
+            assert!(
+                (measured - cv).abs() / cv < 0.08,
+                "cv {cv}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_cv1_close_to_poisson() {
+        let g = GammaArrivals::new(1.0, 1.0);
+        assert!((g.shape() - 1.0).abs() < 1e-12);
+        assert!((g.scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erased_dispatch() {
+        let mut rng = SimRng::new(3);
+        let a = Arrivals::poisson(1.0);
+        let b = Arrivals::gamma(1.0, 2.0);
+        assert_eq!(a.rate(), 1.0);
+        assert_eq!(b.rate(), 1.0);
+        assert!(!a.next_gap(&mut rng).is_zero());
+        assert!(!b.next_gap(&mut rng).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        let _ = Poisson::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cv must be positive")]
+    fn rejects_zero_cv() {
+        let _ = GammaArrivals::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Sequence-length distributions matching the paper's Table 1.
+//!
+//! The paper evaluates on two real conversation datasets (ShareGPT-GPT4 and
+//! BurstGPT) and three generated power-law distributions (Short/Medium/Long,
+//! means 128/256/512, max 6k). The datasets themselves are not shipped here;
+//! Table 1 publishes their mean and P50/P80/P95/P99 token counts, which is
+//! the full workload description the scheduling results depend on. We
+//! therefore model every length distribution as an [`AnchoredDistribution`]:
+//! a monotone inverse CDF through the published percentile anchors, with a
+//! per-segment power-law interpolation whose single exponent is solved (by
+//! bisection) so the distribution's mean matches the published mean.
+
+use llumnix_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A sequence-length distribution.
+pub trait LengthSampler {
+    /// Draws one length in tokens (always ≥ 1).
+    fn sample(&self, rng: &mut SimRng) -> u32;
+
+    /// The distribution's design mean, for reporting.
+    fn mean(&self) -> f64;
+
+    /// Hard upper bound on sampled lengths.
+    fn max_len(&self) -> u32;
+}
+
+/// A percentile anchor: the value of the inverse CDF at quantile `q`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Anchor {
+    /// Quantile in `[0, 1]`.
+    pub q: f64,
+    /// Length in tokens at that quantile.
+    pub len: f64,
+}
+
+/// A distribution defined by its percentile anchors and target mean.
+///
+/// Between consecutive anchors `(q_i, x_i)` and `(q_{i+1}, x_{i+1})` the
+/// inverse CDF is `x_i + (x_{i+1} − x_i) · t^γ` with
+/// `t = (q − q_i)/(q_{i+1} − q_i)`. A single global exponent `γ > 0` keeps
+/// the curve monotone; the closed-form mean `Σ w_i · (x_i + Δx_i/(γ+1))` is
+/// monotone decreasing in `γ`, so bisection pins the published mean exactly
+/// whenever it is attainable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnchoredDistribution {
+    /// Distribution name (e.g. `"Medium"`, `"ShareGPT-in"`).
+    pub name: String,
+    anchors: Vec<Anchor>,
+    target_mean: f64,
+    gamma: f64,
+}
+
+impl AnchoredDistribution {
+    /// Builds a distribution through `anchors` with the given target mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two anchors are given, if anchors are not
+    /// strictly increasing in `q` and non-decreasing in `len`, or if the
+    /// anchors do not span `q = 0` to `q = 1`.
+    pub fn new(name: impl Into<String>, anchors: Vec<Anchor>, target_mean: f64) -> Self {
+        assert!(anchors.len() >= 2, "need at least two anchors");
+        assert!(
+            anchors.windows(2).all(|w| w[0].q < w[1].q),
+            "anchor quantiles must be strictly increasing"
+        );
+        assert!(
+            anchors.windows(2).all(|w| w[0].len <= w[1].len),
+            "anchor lengths must be non-decreasing"
+        );
+        let first = anchors.first().expect("non-empty");
+        let last = anchors.last().expect("non-empty");
+        assert!(first.q == 0.0 && last.q == 1.0, "anchors must span q=0..=1");
+        assert!(target_mean > 0.0, "target mean must be positive");
+        let gamma = solve_gamma(&anchors, target_mean);
+        AnchoredDistribution {
+            name: name.into(),
+            anchors,
+            target_mean,
+            gamma,
+        }
+    }
+
+    /// The inverse CDF at quantile `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let idx = self
+            .anchors
+            .windows(2)
+            .position(|w| q <= w[1].q)
+            .unwrap_or(self.anchors.len() - 2);
+        let (a, b) = (self.anchors[idx], self.anchors[idx + 1]);
+        let t = (q - a.q) / (b.q - a.q);
+        a.len + (b.len - a.len) * t.powf(self.gamma)
+    }
+
+    /// The analytic mean implied by the fitted exponent.
+    pub fn analytic_mean(&self) -> f64 {
+        mean_for_gamma(&self.anchors, self.gamma)
+    }
+
+    /// The fitted interpolation exponent.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl LengthSampler for AnchoredDistribution {
+    fn sample(&self, rng: &mut SimRng) -> u32 {
+        let q = rng.uniform();
+        (self.quantile(q).round() as u32).max(1)
+    }
+
+    fn mean(&self) -> f64 {
+        self.target_mean
+    }
+
+    fn max_len(&self) -> u32 {
+        self.anchors.last().expect("non-empty").len as u32
+    }
+}
+
+/// A degenerate distribution: every request has the same length (used by the
+/// paper's §6.6 stress test, which issues 64-token inputs and outputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedLength(pub u32);
+
+impl LengthSampler for FixedLength {
+    fn sample(&self, _rng: &mut SimRng) -> u32 {
+        self.0.max(1)
+    }
+
+    fn mean(&self) -> f64 {
+        self.0 as f64
+    }
+
+    fn max_len(&self) -> u32 {
+        self.0.max(1)
+    }
+}
+
+/// Mean of the anchored inverse CDF for a given exponent.
+fn mean_for_gamma(anchors: &[Anchor], gamma: f64) -> f64 {
+    anchors
+        .windows(2)
+        .map(|w| {
+            let width = w[1].q - w[0].q;
+            width * (w[0].len + (w[1].len - w[0].len) / (gamma + 1.0))
+        })
+        .sum()
+}
+
+/// Solves for the exponent matching `target_mean`, clamping to the
+/// attainable range when the anchors cannot reach it.
+fn solve_gamma(anchors: &[Anchor], target_mean: f64) -> f64 {
+    const LO: f64 = 1e-3;
+    const HI: f64 = 1e3;
+    // mean_for_gamma is strictly decreasing in gamma.
+    if target_mean >= mean_for_gamma(anchors, LO) {
+        return LO;
+    }
+    if target_mean <= mean_for_gamma(anchors, HI) {
+        return HI;
+    }
+    let (mut lo, mut hi) = (LO, HI);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mean_for_gamma(anchors, mid) > target_mean {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Convenience constructor from the paper's Table 1 row format.
+fn from_table1(
+    name: &str,
+    mean: f64,
+    p50: f64,
+    p80: f64,
+    p95: f64,
+    p99: f64,
+    max: f64,
+) -> AnchoredDistribution {
+    AnchoredDistribution::new(
+        name,
+        vec![
+            Anchor { q: 0.0, len: 1.0 },
+            Anchor { q: 0.50, len: p50 },
+            Anchor { q: 0.80, len: p80 },
+            Anchor { q: 0.95, len: p95 },
+            Anchor { q: 0.99, len: p99 },
+            Anchor { q: 1.0, len: max },
+        ],
+        mean,
+    )
+}
+
+/// Table 1 presets.
+pub mod table1 {
+    use super::{from_table1, AnchoredDistribution};
+
+    /// Generated distributions share the paper's 6k maximum length so that
+    /// input + output never exceeds the 13,616-token A10 capacity.
+    pub const GENERATED_MAX_LEN: f64 = 6144.0;
+
+    /// ShareGPT (GPT4) input lengths: mean 306, P50 74, P80 348, P95 1484, P99 3388.
+    pub fn sharegpt_input() -> AnchoredDistribution {
+        from_table1("ShareGPT-in", 306.0, 74.0, 348.0, 1484.0, 3388.0, 6144.0)
+    }
+
+    /// ShareGPT (GPT4) output lengths: mean 500, P50 487, P80 781, P95 988, P99 1234.
+    pub fn sharegpt_output() -> AnchoredDistribution {
+        from_table1("ShareGPT-out", 500.0, 487.0, 781.0, 988.0, 1234.0, 2048.0)
+    }
+
+    /// BurstGPT (GPT4-Conversation) input lengths: mean 830, P50 582, P80 1427, P95 2345, P99 3549.
+    pub fn burstgpt_input() -> AnchoredDistribution {
+        from_table1("BurstGPT-in", 830.0, 582.0, 1427.0, 2345.0, 3549.0, 6144.0)
+    }
+
+    /// BurstGPT output lengths: mean 271, P50 243, P80 434, P95 669, P99 964.
+    pub fn burstgpt_output() -> AnchoredDistribution {
+        from_table1("BurstGPT-out", 271.0, 243.0, 434.0, 669.0, 964.0, 2048.0)
+    }
+
+    /// Generated Short distribution: mean 128, P50 38, P80 113, P95 413, P99 1464.
+    pub fn short() -> AnchoredDistribution {
+        from_table1(
+            "Short",
+            128.0,
+            38.0,
+            113.0,
+            413.0,
+            1464.0,
+            GENERATED_MAX_LEN,
+        )
+    }
+
+    /// Generated Medium distribution: mean 256, P50 32, P80 173, P95 1288, P99 4208.
+    pub fn medium() -> AnchoredDistribution {
+        from_table1(
+            "Medium",
+            256.0,
+            32.0,
+            173.0,
+            1288.0,
+            4208.0,
+            GENERATED_MAX_LEN,
+        )
+    }
+
+    /// Generated Long distribution: mean 512, P50 55, P80 582, P95 3113, P99 5166.
+    pub fn long() -> AnchoredDistribution {
+        from_table1(
+            "Long",
+            512.0,
+            55.0,
+            582.0,
+            3113.0,
+            5166.0,
+            GENERATED_MAX_LEN,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_hits_anchors_exactly() {
+        let d = table1::medium();
+        assert!((d.quantile(0.50) - 32.0).abs() < 1e-9);
+        assert!((d.quantile(0.80) - 173.0).abs() < 1e-9);
+        assert!((d.quantile(0.95) - 1288.0).abs() < 1e-9);
+        assert!((d.quantile(0.99) - 4208.0).abs() < 1e-9);
+        assert!((d.quantile(1.0) - table1::GENERATED_MAX_LEN).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytic_mean_matches_table1() {
+        for d in [
+            table1::short(),
+            table1::medium(),
+            table1::long(),
+            table1::sharegpt_input(),
+            table1::sharegpt_output(),
+            table1::burstgpt_input(),
+            table1::burstgpt_output(),
+        ] {
+            let err = (d.analytic_mean() - d.mean()).abs() / d.mean();
+            assert!(
+                err < 0.01,
+                "{}: analytic mean {:.1} vs target {:.1}",
+                d.name,
+                d.analytic_mean(),
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_percentiles_match_anchors() {
+        let d = table1::long();
+        let mut rng = SimRng::new(77);
+        let mut samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng) as f64).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+        assert!((p(0.5) - 55.0).abs() / 55.0 < 0.1, "p50 = {}", p(0.5));
+        assert!(
+            (p(0.95) - 3113.0).abs() / 3113.0 < 0.05,
+            "p95 = {}",
+            p(0.95)
+        );
+        assert!(
+            (p(0.99) - 5166.0).abs() / 5166.0 < 0.05,
+            "p99 = {}",
+            p(0.99)
+        );
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 512.0).abs() / 512.0 < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let d = table1::short();
+        let mut prev = 0.0;
+        for i in 0..=1000 {
+            let q = i as f64 / 1000.0;
+            let x = d.quantile(q);
+            assert!(x >= prev, "quantile not monotone at q={q}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn samples_respect_bounds() {
+        let d = table1::medium();
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= 1 && s <= d.max_len());
+        }
+    }
+
+    #[test]
+    fn fixed_length_is_constant() {
+        let d = FixedLength(64);
+        let mut rng = SimRng::new(9);
+        assert_eq!(d.sample(&mut rng), 64);
+        assert_eq!(d.mean(), 64.0);
+        assert_eq!(FixedLength(0).sample(&mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_duplicate_quantiles() {
+        let _ = AnchoredDistribution::new(
+            "bad",
+            vec![
+                Anchor { q: 0.0, len: 1.0 },
+                Anchor { q: 0.5, len: 10.0 },
+                Anchor { q: 0.5, len: 20.0 },
+                Anchor { q: 1.0, len: 30.0 },
+            ],
+            15.0,
+        );
+    }
+
+    #[test]
+    fn unattainable_mean_clamps() {
+        // Target far above the anchors' upper bound: gamma clamps, mean is
+        // the closest attainable.
+        let d = AnchoredDistribution::new(
+            "clamped",
+            vec![Anchor { q: 0.0, len: 1.0 }, Anchor { q: 1.0, len: 10.0 }],
+            1000.0,
+        );
+        assert!(d.analytic_mean() < 10.0 + 1e-6);
+    }
+}

@@ -1,0 +1,160 @@
+//! Low-level samplers: standard normal and gamma variates.
+//!
+//! The allowed dependency set deliberately excludes `rand_distr`, so the two
+//! non-uniform samplers the workloads need are implemented here and verified
+//! by moment tests: a polar-method standard normal and Marsaglia–Tsang gamma
+//! (with the Johnk-style boost for shape < 1).
+
+use llumnix_sim::SimRng;
+
+/// Samples a standard normal variate via the Marsaglia polar method.
+pub fn standard_normal(rng: &mut SimRng) -> f64 {
+    loop {
+        let u = 2.0 * rng.uniform() - 1.0;
+        let v = 2.0 * rng.uniform() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Samples a Gamma(shape, scale) variate.
+///
+/// Uses Marsaglia–Tsang squeeze for `shape >= 1` and the standard
+/// `Gamma(shape + 1) · U^(1/shape)` boost for `shape < 1`.
+///
+/// # Panics
+///
+/// Panics if `shape` or `scale` is not positive and finite.
+pub fn gamma(rng: &mut SimRng, shape: f64, scale: f64) -> f64 {
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "gamma shape must be positive, got {shape}"
+    );
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "gamma scale must be positive, got {scale}"
+    );
+    if shape < 1.0 {
+        // Boost: if X ~ Gamma(shape+1) and U ~ Uniform(0,1), then
+        // X·U^(1/shape) ~ Gamma(shape).
+        let x = gamma_shape_ge1(rng, shape + 1.0);
+        let u: f64 = rng.uniform().max(f64::MIN_POSITIVE);
+        return x * u.powf(1.0 / shape) * scale;
+    }
+    gamma_shape_ge1(rng, shape) * scale
+}
+
+/// Marsaglia–Tsang for shape ≥ 1, unit scale.
+fn gamma_shape_ge1(rng: &mut SimRng, shape: f64) -> f64 {
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.uniform();
+        // Squeeze test followed by the full acceptance test.
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v3;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+/// Samples an exponential variate with the given rate (mean `1/rate`).
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive and finite.
+pub fn exponential(rng: &mut SimRng, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be positive, got {rate}"
+    );
+    let u: f64 = rng.uniform();
+    -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::new(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "normal var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_ge1() {
+        let mut rng = SimRng::new(2);
+        let (shape, scale) = (4.0, 2.5);
+        let samples: Vec<f64> = (0..50_000).map(|_| gamma(&mut rng, shape, scale)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(
+            (mean - shape * scale).abs() / (shape * scale) < 0.03,
+            "mean {mean}"
+        );
+        let expect_var = shape * scale * scale;
+        assert!((var - expect_var).abs() / expect_var < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_lt1() {
+        let mut rng = SimRng::new(3);
+        let (shape, scale) = (0.25, 3.0);
+        let samples: Vec<f64> = (0..80_000).map(|_| gamma(&mut rng, shape, scale)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(
+            (mean - shape * scale).abs() / (shape * scale) < 0.05,
+            "mean {mean}"
+        );
+        let expect_var = shape * scale * scale;
+        assert!((var - expect_var).abs() / expect_var < 0.10, "var {var}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = SimRng::new(4);
+        let rate = 0.42;
+        let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, rate)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 1.0 / rate).abs() * rate < 0.03, "mean {mean}");
+        assert!(
+            (var - 1.0 / (rate * rate)).abs() * rate * rate < 0.10,
+            "var {var}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_bad_shape() {
+        let mut rng = SimRng::new(5);
+        let _ = gamma(&mut rng, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential rate must be positive")]
+    fn exponential_rejects_bad_rate() {
+        let mut rng = SimRng::new(6);
+        let _ = exponential(&mut rng, -1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for distributions, arrivals, and trace generation.
+
+use llumnix_sim::SimRng;
+use llumnix_workload::{
+    gamma, table1, Anchor, AnchoredDistribution, ArrivalProcess, Arrivals, LengthDist,
+    LengthSampler, TraceSpec,
+};
+use proptest::prelude::*;
+
+/// Strategy producing valid anchor sets: strictly increasing quantiles from
+/// 0 to 1, non-decreasing lengths.
+fn anchors() -> impl Strategy<Value = Vec<Anchor>> {
+    (
+        prop::collection::vec(0.01f64..0.99, 1..4),
+        prop::collection::vec(1.0f64..5_000.0, 6),
+    )
+        .prop_map(|(mut qs, mut lens)| {
+            qs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            qs.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+            lens.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mut anchors = vec![Anchor {
+                q: 0.0,
+                len: lens[0],
+            }];
+            for (i, q) in qs.iter().enumerate() {
+                anchors.push(Anchor {
+                    q: *q,
+                    len: lens[i + 1],
+                });
+            }
+            anchors.push(Anchor {
+                q: 1.0,
+                len: *lens.last().expect("non-empty"),
+            });
+            anchors
+        })
+}
+
+proptest! {
+    /// The fitted inverse CDF is monotone and bounded by its anchors for any
+    /// valid anchor set and any target mean.
+    #[test]
+    fn anchored_quantile_monotone(anchors in anchors(), mean in 1.0f64..4_000.0) {
+        let d = AnchoredDistribution::new("prop", anchors.clone(), mean);
+        let lo = anchors.first().expect("non-empty").len;
+        let hi = anchors.last().expect("non-empty").len;
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let x = d.quantile(q);
+            prop_assert!(x >= prev - 1e-9, "not monotone at q={q}");
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9, "out of bounds at q={q}");
+            prev = x;
+        }
+        // The analytic mean lands within the attainable envelope.
+        prop_assert!(d.analytic_mean() >= lo - 1e-9);
+        prop_assert!(d.analytic_mean() <= hi + 1e-9);
+    }
+
+    /// Samples are always within [1, max].
+    #[test]
+    fn samples_in_bounds(seed in any::<u64>()) {
+        let d = table1::medium();
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            let s = d.sample(&mut rng);
+            prop_assert!(s >= 1 && s <= d.max_len());
+        }
+    }
+
+    /// Gamma variates are positive and finite for any valid parameters.
+    #[test]
+    fn gamma_positive(seed in any::<u64>(), shape in 0.05f64..20.0, scale in 0.01f64..100.0) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let x = gamma(&mut rng, shape, scale);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    /// Arrival gaps are positive; generated traces are sorted with dense ids
+    /// and respect the total-length cap.
+    #[test]
+    fn traces_are_well_formed(
+        seed in any::<u64>(),
+        rate in 0.2f64..50.0,
+        cv in 0.2f64..8.0,
+        cap in 128u32..13_616,
+        n in 1usize..200,
+    ) {
+        let arrivals = Arrivals::gamma(rate, cv);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..20 {
+            prop_assert!(arrivals.next_gap(&mut rng).as_micros() < u64::MAX);
+        }
+        let spec = TraceSpec::new(
+            "prop",
+            n,
+            arrivals,
+            LengthDist::Anchored(table1::short()),
+            LengthDist::Anchored(table1::long()),
+        )
+        .with_max_total_tokens(cap)
+        .with_high_priority_fraction(0.25);
+        let trace = spec.generate(&SimRng::new(seed));
+        prop_assert_eq!(trace.len(), n);
+        let mut prev = llumnix_sim::SimTime::ZERO;
+        for (i, r) in trace.requests.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u64);
+            prop_assert!(r.arrival >= prev);
+            prop_assert!(r.input_len >= 1 && r.output_len >= 1);
+            prop_assert!(r.total_len() <= cap);
+            prev = r.arrival;
+        }
+    }
+}

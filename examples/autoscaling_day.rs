@@ -1,0 +1,77 @@
+//! Auto-scaling through a load swing.
+//!
+//! Emulates a service day in fast-forward: a quiet period, a steep ramp to
+//! peak traffic, and a decay back to quiet. Llumnix's auto-scaler grows the
+//! cluster by watching the average freeness, saturates new instances by
+//! migrating requests onto them, and drains instances (fake ∞-usage request
+//! + migration) on the way down — paper Figure 1(d) and §6.5.
+//!
+//! ```sh
+//! cargo run --release --example autoscaling_day
+//! ```
+
+use llumnix::prelude::*;
+use llumnix::workload::{table1, Phase, PhasedSpec};
+
+/// Builds a three-phase trace: quiet (1 req/s), peak (6 req/s), quiet.
+fn day_trace(seed: u64) -> Trace {
+    PhasedSpec::new(
+        "day",
+        vec![
+            Phase {
+                rate: 1.0,
+                duration_secs: 600.0,
+            },
+            Phase {
+                rate: 6.0,
+                duration_secs: 1200.0,
+            },
+            Phase {
+                rate: 1.0,
+                duration_secs: 600.0,
+            },
+        ],
+        LengthDist::Anchored(table1::medium()),
+        LengthDist::Anchored(table1::medium()),
+    )
+    .generate(&SimRng::new(seed))
+}
+
+fn main() {
+    let trace = day_trace(11);
+    println!(
+        "day trace: {} requests over {:.0} minutes (quiet -> peak -> quiet)",
+        trace.len(),
+        trace.span().as_secs_f64() / 60.0
+    );
+    for kind in [SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix] {
+        let config = ServingConfig::new(kind, 2).with_autoscale(AutoScaleConfig::paper_default(16));
+        let out = run_serving(config, trace.clone());
+        let report = LatencyReport::from_records(&out.records);
+        println!("\n=== {} ===", kind.label());
+        println!(
+            "  avg instances {:.2} (cost)   peak {:.0}",
+            out.avg_instances,
+            out.instances.max()
+        );
+        println!(
+            "  prefill mean {:>8}  p99 {:>8}",
+            fmt_secs(report.prefill.mean),
+            fmt_secs(report.prefill.p99)
+        );
+        println!(
+            "  e2e mean {:>8}  p99 {:>8}",
+            fmt_secs(report.e2e.mean),
+            fmt_secs(report.e2e.p99)
+        );
+        // A rough picture of the fleet over time.
+        let pts = out.instances.points();
+        let step = (pts.len() / 12).max(1);
+        let sketch: Vec<String> = pts
+            .iter()
+            .step_by(step)
+            .map(|(t, v)| format!("{:.0}m:{v:.0}", t.as_secs_f64() / 60.0))
+            .collect();
+        println!("  fleet size over time: {}", sketch.join(" "));
+    }
+}

@@ -1,0 +1,65 @@
+//! Fault-tolerance drill (paper §5).
+//!
+//! Injects an instance failure and a global-scheduler outage into a serving
+//! run. The expectations: requests resident on the failed instance abort and
+//! in-flight migrations touching it abort cleanly via the handshake; during
+//! the global-scheduler outage the frontends fall back to scheduler-bypass
+//! round-robin dispatch and migration pauses, so availability is preserved.
+//!
+//! ```sh
+//! cargo run --release --example failure_drill
+//! ```
+
+use llumnix::prelude::*;
+use llumnix::sim::{SimDuration, SimTime};
+
+fn main() {
+    let spec = trace_presets::by_name("S-S", 3_000, Arrivals::poisson(12.0)).expect("preset");
+    let trace = spec.generate(&SimRng::new(3));
+
+    println!("baseline (no failures):");
+    let out = run_serving(ServingConfig::new(SchedulerKind::Llumnix, 8), trace.clone());
+    let report = LatencyReport::from_records(&out.records);
+    println!(
+        "  {} completed, {} aborted, prefill p99 {}",
+        out.records.len(),
+        out.aborted,
+        fmt_secs(report.prefill.p99)
+    );
+
+    println!("\ninstance 3 fails at t=60s and is restarted 10s later:");
+    let mut config = ServingConfig::new(SchedulerKind::Llumnix, 8);
+    config.failures = vec![FailureSpec::Instance {
+        instance: InstanceId(3),
+        at: SimTime::from_secs(60),
+        restart_after: Some(SimDuration::from_secs(10)),
+    }];
+    let out = run_serving(config, trace.clone());
+    let report = LatencyReport::from_records(&out.records);
+    println!(
+        "  {} completed, {} aborted (died with the instance), prefill p99 {}",
+        out.records.len(),
+        out.aborted,
+        fmt_secs(report.prefill.p99)
+    );
+    println!(
+        "  migrations: {} committed, {} aborted by the handshake",
+        out.migration_stats.committed, out.migration_stats.aborted
+    );
+
+    println!("\nglobal scheduler down from t=30s to t=90s (scheduler-bypass mode):");
+    let mut config = ServingConfig::new(SchedulerKind::Llumnix, 8);
+    config.failures = vec![FailureSpec::GlobalScheduler {
+        at: SimTime::from_secs(30),
+        duration: SimDuration::from_secs(60),
+    }];
+    let out = run_serving(config, trace);
+    let report = LatencyReport::from_records(&out.records);
+    println!(
+        "  {} completed, {} aborted — availability preserved; prefill p99 {} \
+         (degraded while dispatch was round-robin and migration paused)",
+        out.records.len(),
+        out.aborted,
+        fmt_secs(report.prefill.p99)
+    );
+}

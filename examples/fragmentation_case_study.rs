@@ -1,0 +1,66 @@
+//! Fragmentation case study (paper §3 Figure 5 and §6.3 Figure 12).
+//!
+//! Serves the same Medium-Medium workload twice — once with INFaaS++-style
+//! load-aware dispatch only, once with Llumnix's migration-based
+//! de-fragmentation — and shows what happens to queuing requests whose
+//! demand the cluster could satisfy *in total* but no single instance can:
+//! with migration, running requests are moved to carve out contiguous space
+//! and the queue drains.
+//!
+//! ```sh
+//! cargo run --release --example fragmentation_case_study
+//! ```
+
+use llumnix::metrics::sparkline_annotated;
+use llumnix::prelude::*;
+
+fn main() {
+    let rate = 11.0;
+    let spec = trace_presets::by_name("M-M", 6_000, Arrivals::poisson(rate)).expect("preset");
+    let trace = spec.generate(&SimRng::new(20240710));
+    println!(
+        "workload: {} requests, M-M lengths, {rate} req/s over 16 LLaMA-7B instances\n",
+        trace.len()
+    );
+
+    let mut results = Vec::new();
+    for kind in [SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix] {
+        let out = run_serving(ServingConfig::new(kind, 16), trace.clone());
+        let report = LatencyReport::from_records(&out.records);
+        println!("=== {} ===", kind.label());
+        println!(
+            "  prefill mean {:>8}  p99 {:>8}   (queuing shows up here)",
+            fmt_secs(report.prefill.mean),
+            fmt_secs(report.prefill.p99)
+        );
+        println!(
+            "  queued requests  {}",
+            sparkline_annotated(&out.queued, 56)
+        );
+        println!(
+            "  fragmented mem   {}",
+            sparkline_annotated(&out.fragmentation, 56)
+        );
+        println!(
+            "  mean fragmented-memory proportion: {:.2}%   migrations: {}\n",
+            out.fragmentation.mean() * 100.0,
+            out.migration_stats.committed
+        );
+        results.push((kind, out, report));
+    }
+
+    let (_, infaas, ri) = &results[0];
+    let (_, llumnix, rl) = &results[1];
+    println!(
+        "de-fragmentation effect: fragmented memory {:.2}% -> {:.2}% ({:.0}% reduction, paper: 92%),",
+        infaas.fragmentation.mean() * 100.0,
+        llumnix.fragmentation.mean() * 100.0,
+        (1.0 - llumnix.fragmentation.mean() / infaas.fragmentation.mean().max(1e-12)) * 100.0
+    );
+    println!(
+        "P99 prefill {} -> {} ({:.1}x)",
+        fmt_secs(ri.prefill.p99),
+        fmt_secs(rl.prefill.p99),
+        ri.prefill.p99 / rl.prefill.p99.max(1e-12)
+    );
+}

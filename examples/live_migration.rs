@@ -1,0 +1,150 @@
+//! Driving one live migration by hand through the public API.
+//!
+//! Walks a request through the paper's Figure 7 handshake step by step —
+//! pre-allocate, background copy stages overlapped with decoding, drain,
+//! final copy, commit — and prints what happens at each point, including the
+//! downtime the request observes and what the naive alternatives would have
+//! cost.
+//!
+//! ```sh
+//! cargo run --release --example live_migration
+//! ```
+
+use llumnix::engine::{EngineConfig, EngineEvent, InstanceEngine, InstanceId, RequestMeta};
+use llumnix::migration::{MigrationConfig, MigrationCoordinator, StageOutcome, StartOutcome};
+use llumnix::prelude::*;
+use llumnix::sim::SimTime;
+
+fn main() {
+    let spec = InstanceSpec::llama_7b_a10();
+    let mut src = InstanceEngine::new(InstanceId(0), spec.clone(), EngineConfig::default());
+    let mut dst = InstanceEngine::new(InstanceId(1), spec.clone(), EngineConfig::default());
+
+    // A long-context request: 4k prompt, long generation.
+    let req = RequestId(1);
+    src.add_request(
+        RequestMeta {
+            id: req,
+            input_len: 4_096,
+            output_len: 2_000,
+            priority: PriorityPair::NORMAL,
+            arrival: SimTime::ZERO,
+        },
+        SimTime::ZERO,
+    );
+    let plan = src.poll_step(SimTime::ZERO).expect("prefill step");
+    let mut now = plan.finish_at();
+    src.complete_step(now);
+    println!(
+        "t={now}: prefill done, request resident with {} KV blocks on {}",
+        src.physical_blocks_of(req),
+        src.id
+    );
+
+    // Decode a while, then start migrating.
+    for _ in 0..20 {
+        let plan = src.poll_step(now).expect("decode");
+        now = plan.finish_at();
+        src.complete_step(now);
+    }
+    let tokens = src.state(req).expect("resident").cached_tokens;
+    println!("t={now}: request has {tokens} tokens of KV cache; starting live migration");
+
+    let mut coord = MigrationCoordinator::new(MigrationConfig::default());
+    let StartOutcome::Started {
+        id,
+        mut stage_done_at,
+    } = coord.start(req, &mut src, &mut dst, now)
+    else {
+        panic!("handshake refused");
+    };
+    println!(
+        "t={now}: pre-allocate accepted on {}; stage 0 copies {tokens} tokens in the background",
+        dst.id
+    );
+
+    let mut decode_steps_during = 0u32;
+    let mut drained_commit: Option<SimTime> = None;
+    let commit_at = loop {
+        // The source keeps decoding while the copy runs.
+        while now < stage_done_at && drained_commit.is_none() {
+            let plan = src.poll_step(now).expect("decode continues");
+            now = plan.finish_at();
+            let events = src.complete_step(now);
+            decode_steps_during += 1;
+            if events.iter().any(|e| matches!(e, EngineEvent::Drained(_))) {
+                let (_, at) = coord
+                    .on_drained(req, &mut src, now)
+                    .expect("drain was awaited");
+                println!("t={now}: request drained from the batch — downtime starts");
+                drained_commit = Some(at);
+            }
+        }
+        if let Some(at) = drained_commit {
+            break at;
+        }
+        match coord
+            .on_stage_done(id, &mut src, &mut dst, stage_done_at)
+            .expect("migration active")
+        {
+            StageOutcome::NextStage { copy_done_at } => {
+                let copied = src.state(req).expect("alive").cached_tokens;
+                println!(
+                    "t={stage_done_at}: stage done; {copied} tokens now cached, next stage copies the delta"
+                );
+                stage_done_at = copy_done_at;
+            }
+            StageOutcome::DrainRequested => {
+                println!("t={stage_done_at}: delta fits one iteration — drain requested at the step boundary");
+                // Continue decoding until the Drained event fires.
+                let plan = src.poll_step(now).expect("final decode");
+                now = plan.finish_at();
+                let events = src.complete_step(now);
+                assert!(events.iter().any(|e| matches!(e, EngineEvent::Drained(_))));
+                let (_, commit_at) = coord.on_drained(req, &mut src, now).expect("awaiting");
+                println!("t={now}: request drained — downtime starts");
+                break commit_at;
+            }
+            StageOutcome::FinalCopy { commit_at } => {
+                println!(
+                    "t={stage_done_at}: source idle — drained immediately, final copy under way"
+                );
+                break commit_at;
+            }
+            StageOutcome::Aborted(reason) => panic!("aborted: {reason}"),
+        }
+    };
+
+    let outcome = coord
+        .on_commit(id, &mut src, &mut dst, commit_at)
+        .expect("commit");
+    println!(
+        "t={commit_at}: committed — request resumed on {} after {} of downtime ({} stages, {} decode steps ran during the copy)",
+        outcome.dst,
+        outcome.downtime,
+        outcome.stages,
+        decode_steps_during
+    );
+
+    // Compare with the naive approaches.
+    let total = src
+        .state(req)
+        .map(|s| s.cached_tokens)
+        .unwrap_or_else(|| dst.state(req).expect("migrated").cached_tokens);
+    for policy in [ReschedulePolicy::Recompute, ReschedulePolicy::BlockingCopy] {
+        let d = reschedule_downtime(policy, total, &spec);
+        println!(
+            "  {} would have stalled the request for {} ({:.0}x the live migration)",
+            policy.label(),
+            d,
+            d.as_secs_f64() / outcome.downtime.as_secs_f64()
+        );
+    }
+
+    // And the request keeps generating on the destination.
+    let plan = dst.poll_step(commit_at).expect("decode on destination");
+    println!(
+        "t={}: destination decodes the request's next token — no recompute needed",
+        plan.finish_at()
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: serve a generated workload on a Llumnix-scheduled cluster and
+//! print the latency report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use llumnix::prelude::*;
+
+fn main() {
+    // 1. Describe the workload: 2,000 requests with Medium-Medium lengths
+    //    (power-law, mean 256 tokens in and out — paper Table 1) arriving as
+    //    a Poisson process at 9 requests/second.
+    let spec = trace_presets::by_name("M-M", 2_000, Arrivals::poisson(9.0))
+        .expect("M-M is a built-in preset");
+    let trace = spec.generate(&SimRng::new(42));
+    println!(
+        "trace: {} requests over {:.0}s, mean input {:.0} tokens, mean output {:.0} tokens",
+        trace.len(),
+        trace.span().as_secs_f64(),
+        trace.mean_input_len(),
+        trace.mean_output_len()
+    );
+
+    // 2. Serve it on 16 LLaMA-7B instances under each scheduler.
+    for kind in [
+        SchedulerKind::RoundRobin,
+        SchedulerKind::InfaasPlusPlus,
+        SchedulerKind::Llumnix,
+    ] {
+        let config = ServingConfig::new(kind, 16);
+        let out = run_serving(config, trace.clone());
+        let report = LatencyReport::from_records(&out.records);
+
+        // 3. Read the results.
+        println!("\n=== {} ===", kind.label());
+        println!(
+            "  e2e      mean {:>8}   p99 {:>8}",
+            fmt_secs(report.e2e.mean),
+            fmt_secs(report.e2e.p99)
+        );
+        println!(
+            "  prefill  mean {:>8}   p99 {:>8}",
+            fmt_secs(report.prefill.mean),
+            fmt_secs(report.prefill.p99)
+        );
+        println!(
+            "  decode   mean {:>8}   p99 {:>8}  (per token)",
+            fmt_secs(report.decode.mean),
+            fmt_secs(report.decode.p99)
+        );
+        println!(
+            "  preemptions {}   preemption loss mean {}",
+            report.total_preemptions,
+            fmt_secs(report.preemption_loss.mean)
+        );
+        println!(
+            "  migrations committed {}   mean downtime {}",
+            out.migration_stats.committed,
+            fmt_secs(
+                out.migration_stats.total_downtime.as_secs_f64()
+                    / out.migration_stats.committed.max(1) as f64
+            )
+        );
+    }
+}

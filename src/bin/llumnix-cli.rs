@@ -1,0 +1,370 @@
+//! `llumnix-cli` — run serving experiments from the command line.
+//!
+//! ```text
+//! llumnix-cli trace-gen --preset M-M --requests 10000 --rate 8 --out trace.json
+//! llumnix-cli run --preset M-M --rate 8 --scheduler llumnix --instances 16
+//! llumnix-cli run --trace trace.json --scheduler infaas++ --instances 16
+//! llumnix-cli compare --preset L-L --rate 4 --instances 16
+//! llumnix-cli info
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use llumnix::metrics::{fmt_secs, sparkline_annotated, to_csv, LatencyReport, Table};
+use llumnix::model::{CalibratedCostModel, CostModel, DecodeBatch, InstanceSpec};
+use llumnix::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match command.as_str() {
+        "trace-gen" => cmd_trace_gen(&flags),
+        "run" => cmd_run(&flags),
+        "compare" => cmd_compare(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "info" => cmd_info(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+llumnix-cli — Llumnix serving experiments
+
+USAGE:
+  llumnix-cli trace-gen --preset <NAME> --requests <N> --rate <R> [--cv <CV>]
+                        [--high-frac <F>] [--seed <S>] --out <FILE>
+  llumnix-cli run       (--preset <NAME> --rate <R> [--requests <N>] [--cv <CV>]
+                         [--high-frac <F>] | --trace <FILE>)
+                        [--scheduler <KIND>] [--instances <N>] [--autoscale <MAX>]
+                        [--seed <S>] [--json <FILE>]
+  llumnix-cli compare   --preset <NAME> --rate <R> [--requests <N>] [--instances <N>]
+  llumnix-cli sweep     --preset <NAME> --rates <R1,R2,...> [--requests <N>]
+                        [--instances <N>] [--csv <FILE>]
+  llumnix-cli info
+
+PRESETS:    S-S M-M L-L S-L L-S ShareGPT BurstGPT
+SCHEDULERS: round-robin infaas++ llumnix-base llumnix centralized";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), String::from("true"));
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn scheduler_by_name(name: &str) -> Result<SchedulerKind, String> {
+    Ok(match name {
+        "round-robin" | "rr" => SchedulerKind::RoundRobin,
+        "infaas++" | "infaas" => SchedulerKind::InfaasPlusPlus,
+        "llumnix-base" => SchedulerKind::LlumnixBase,
+        "llumnix" => SchedulerKind::Llumnix,
+        "centralized" => SchedulerKind::Centralized,
+        other => return Err(format!("unknown scheduler `{other}`")),
+    })
+}
+
+fn build_trace_from_flags(flags: &HashMap<String, String>) -> Result<Trace, String> {
+    if let Some(path) = flags.get("trace") {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        return serde_json::from_str(&body).map_err(|e| format!("parse {path}: {e}"));
+    }
+    let preset = flags
+        .get("preset")
+        .ok_or("need --preset <NAME> or --trace <FILE>")?;
+    let rate: f64 = get(flags, "rate", 0.0);
+    if rate <= 0.0 {
+        return Err("need --rate <R> with --preset".into());
+    }
+    let n: usize = get(flags, "requests", 10_000);
+    let cv: f64 = get(flags, "cv", 0.0);
+    let arrivals = if cv > 0.0 {
+        Arrivals::gamma(rate, cv)
+    } else {
+        Arrivals::poisson(rate)
+    };
+    let high: f64 = get(flags, "high-frac", 0.0);
+    let seed: u64 = get(flags, "seed", 20240710);
+    let spec = trace_presets::by_name(preset, n, arrivals)
+        .ok_or_else(|| format!("unknown preset `{preset}`"))?
+        .with_high_priority_fraction(high);
+    Ok(spec.generate(&SimRng::new(seed)))
+}
+
+fn cmd_trace_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let trace = build_trace_from_flags(flags)?;
+    let out = flags.get("out").ok_or("need --out <FILE>")?;
+    let body = serde_json::to_string(&trace).map_err(|e| e.to_string())?;
+    std::fs::write(out, body).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {} requests ({:.0}s span, mean in/out {:.0}/{:.0} tokens) to {out}",
+        trace.len(),
+        trace.span().as_secs_f64(),
+        trace.mean_input_len(),
+        trace.mean_output_len()
+    );
+    Ok(())
+}
+
+fn report_table(label: &str, report: &LatencyReport, out: &ServingOutput) -> Table {
+    let mut t = Table::new(
+        format!("{label}: {} requests served", report.e2e.count),
+        &["metric", "mean", "p50", "p99"],
+    );
+    for (name, s) in [
+        ("e2e", &report.e2e),
+        ("prefill", &report.prefill),
+        ("decode/token", &report.decode),
+    ] {
+        t.row(&[
+            name.to_string(),
+            fmt_secs(s.mean),
+            fmt_secs(s.p50),
+            fmt_secs(s.p99),
+        ]);
+    }
+    t.row(&[
+        "preemption loss".into(),
+        fmt_secs(report.preemption_loss.mean),
+        String::new(),
+        fmt_secs(report.preemption_loss.p99),
+    ]);
+    t.row(&[
+        "migrations".into(),
+        format!("{}", out.migration_stats.committed),
+        String::new(),
+        String::new(),
+    ]);
+    t.row(&[
+        "avg instances".into(),
+        format!("{:.2}", out.avg_instances),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let trace = build_trace_from_flags(flags)?;
+    let kind = scheduler_by_name(
+        flags
+            .get("scheduler")
+            .map(String::as_str)
+            .unwrap_or("llumnix"),
+    )?;
+    let instances: u32 = get(flags, "instances", 16);
+    let mut config = ServingConfig::new(kind, instances);
+    let autoscale_max: u32 = get(flags, "autoscale", 0);
+    if autoscale_max > 0 {
+        config = config.with_autoscale(AutoScaleConfig::paper_default(autoscale_max));
+    }
+    let out = run_serving(config, trace);
+    let report = LatencyReport::from_records(&out.records);
+    println!("{}", report_table(kind.label(), &report, &out).render());
+    println!(
+        "fleet size      {}",
+        sparkline_annotated(&out.instances, 48)
+    );
+    println!("queued requests {}", sparkline_annotated(&out.queued, 48));
+    println!(
+        "fragmentation   {}",
+        sparkline_annotated(&out.fragmentation, 48)
+    );
+    if out.aborted > 0 {
+        println!("warning: {} requests aborted", out.aborted);
+    }
+    if let Some(path) = flags.get("csv") {
+        let csv = to_csv(&[
+            &out.instances,
+            &out.queued,
+            &out.fragmentation,
+            &out.free_blocks,
+        ]);
+        std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote timeline CSV to {path}");
+    }
+    if let Some(path) = flags.get("json") {
+        let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, body).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote JSON report to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let trace = build_trace_from_flags(flags)?;
+    let instances: u32 = get(flags, "instances", 16);
+    let mut table = Table::new(
+        format!(
+            "scheduler comparison: {} requests on {instances} instances",
+            trace.len()
+        ),
+        &[
+            "scheduler",
+            "e2e mean/p99",
+            "prefill mean/p99",
+            "decode mean/p99",
+            "preempt",
+            "migr",
+        ],
+    );
+    for kind in [
+        SchedulerKind::RoundRobin,
+        SchedulerKind::InfaasPlusPlus,
+        SchedulerKind::LlumnixBase,
+        SchedulerKind::Llumnix,
+    ] {
+        let out = run_serving(ServingConfig::new(kind, instances), trace.clone());
+        let r = LatencyReport::from_records(&out.records);
+        table.row(&[
+            kind.label().to_string(),
+            format!("{} / {}", fmt_secs(r.e2e.mean), fmt_secs(r.e2e.p99)),
+            format!("{} / {}", fmt_secs(r.prefill.mean), fmt_secs(r.prefill.p99)),
+            format!("{} / {}", fmt_secs(r.decode.mean), fmt_secs(r.decode.p99)),
+            format!("{}", r.total_preemptions),
+            format!("{}", out.migration_stats.committed),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    let preset = flags.get("preset").ok_or("need --preset <NAME>")?;
+    let rates: Vec<f64> = flags
+        .get("rates")
+        .ok_or("need --rates <R1,R2,...>")?
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    if rates.is_empty() {
+        return Err("no parsable rates in --rates".into());
+    }
+    let n: usize = get(flags, "requests", 10_000);
+    let instances: u32 = get(flags, "instances", 16);
+    let seed: u64 = get(flags, "seed", 20240710);
+    let mut table = Table::new(
+        format!("rate sweep: {preset}, {n} requests, {instances} instances"),
+        &[
+            "rate",
+            "scheduler",
+            "e2e mean",
+            "prefill p99",
+            "decode p99",
+            "preempt",
+            "migr",
+        ],
+    );
+    let mut csv = String::from(
+        "rate,scheduler,e2e_mean,e2e_p99,prefill_mean,prefill_p99,decode_mean,decode_p99,preemptions,migrations\n",
+    );
+    for &rate in &rates {
+        let spec = trace_presets::by_name(preset, n, Arrivals::poisson(rate))
+            .ok_or_else(|| format!("unknown preset `{preset}`"))?;
+        let trace = spec.generate(&SimRng::new(seed));
+        for kind in [SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix] {
+            let out = run_serving(ServingConfig::new(kind, instances), trace.clone());
+            let r = LatencyReport::from_records(&out.records);
+            table.row(&[
+                format!("{rate}"),
+                kind.label().to_string(),
+                fmt_secs(r.e2e.mean),
+                fmt_secs(r.prefill.p99),
+                fmt_secs(r.decode.p99),
+                format!("{}", r.total_preemptions),
+                format!("{}", out.migration_stats.committed),
+            ]);
+            csv.push_str(&format!(
+                "{rate},{},{},{},{},{},{},{},{},{}\n",
+                kind.label(),
+                r.e2e.mean,
+                r.e2e.p99,
+                r.prefill.mean,
+                r.prefill.p99,
+                r.decode.mean,
+                r.decode.p99,
+                r.total_preemptions,
+                out.migration_stats.committed
+            ));
+        }
+    }
+    println!("{}", table.render());
+    if let Some(path) = flags.get("csv") {
+        std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote sweep CSV to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_info() -> Result<(), String> {
+    let mut t = Table::new(
+        "instance types",
+        &[
+            "model",
+            "gpus",
+            "kv capacity (tokens)",
+            "blocks",
+            "lone decode step",
+            "full decode step",
+        ],
+    );
+    for spec in [
+        InstanceSpec::llama_7b_a10(),
+        InstanceSpec::llama_30b_4xa10(),
+    ] {
+        let cost = CalibratedCostModel::for_model(&spec.model);
+        let lone = cost.decode_step(DecodeBatch {
+            num_seqs: 1,
+            total_tokens: 256,
+        });
+        let full = cost.decode_step(DecodeBatch {
+            num_seqs: 32,
+            total_tokens: spec.geometry.capacity_tokens() as u64,
+        });
+        t.row(&[
+            spec.model.name.clone(),
+            format!("{}", spec.model.tensor_parallel),
+            format!("{}", spec.geometry.capacity_tokens()),
+            format!("{}", spec.geometry.total_blocks),
+            format!("{lone}"),
+            format!("{full}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("trace presets: S-S M-M L-L S-L L-S ShareGPT BurstGPT (paper Table 1)");
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! Integration tests spanning the whole stack: workload → dispatch →
+//! engines → migration → metrics.
+
+use llumnix::prelude::*;
+
+fn trace(name: &str, n: usize, rate: f64, seed: u64, cap: u32) -> Trace {
+    trace_presets::by_name(name, n, Arrivals::poisson(rate))
+        .expect("preset")
+        .with_max_total_tokens(cap)
+        .generate(&SimRng::new(seed))
+}
+
+fn tiny(kind: SchedulerKind, n: u32) -> ServingConfig {
+    ServingConfig::new(kind, n).with_spec(InstanceSpec::tiny_for_tests(2048))
+}
+
+/// Every request completes exactly once under every scheduler, and record
+/// timestamps are internally consistent.
+#[test]
+fn completion_conservation_all_schedulers() {
+    let t = trace("S-S", 200, 6.0, 1, 2_000);
+    for kind in [
+        SchedulerKind::RoundRobin,
+        SchedulerKind::InfaasPlusPlus,
+        SchedulerKind::LlumnixBase,
+        SchedulerKind::Llumnix,
+        SchedulerKind::Centralized,
+    ] {
+        let out = run_serving(tiny(kind, 4), t.clone());
+        assert_eq!(
+            out.records.len() as u64 + out.aborted,
+            200,
+            "{}: lost or duplicated requests",
+            kind.label()
+        );
+        for r in &out.records {
+            assert!(r.arrival <= r.first_token, "{}: time order", kind.label());
+            assert!(r.first_token <= r.finish, "{}: time order", kind.label());
+            assert!(r.output_len >= 1);
+            assert!(r.e2e_latency() >= r.prefill_latency());
+        }
+    }
+}
+
+/// Output lengths in the records match the trace's ground truth: migration
+/// and preemption never lose or duplicate tokens.
+#[test]
+fn token_conservation_through_migration() {
+    let t = trace("M-M", 250, 8.0, 2, 2_000);
+    let out = run_serving(tiny(SchedulerKind::Llumnix, 4), t.clone());
+    assert!(out.migration_stats.committed > 0, "wanted migrations");
+    for r in &out.records {
+        let expected = t
+            .requests
+            .iter()
+            .find(|q| q.id == r.id)
+            .expect("record belongs to the trace");
+        assert_eq!(
+            r.output_len, expected.output_len,
+            "request {} generated a different number of tokens",
+            r.id
+        );
+        assert_eq!(r.input_len, expected.input_len);
+    }
+}
+
+/// The same seed reproduces byte-identical results; different seeds differ.
+#[test]
+fn determinism_across_runs() {
+    let t = trace("S-S", 150, 6.0, 3, 2_000);
+    let a = run_serving(tiny(SchedulerKind::Llumnix, 3), t.clone());
+    let b = run_serving(tiny(SchedulerKind::Llumnix, 3), t.clone());
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(
+            (x.id, x.finish, x.migrations),
+            (y.id, y.finish, y.migrations)
+        );
+    }
+    let t2 = trace("S-S", 150, 6.0, 4, 2_000);
+    let c = run_serving(tiny(SchedulerKind::Llumnix, 3), t2);
+    let fa: Vec<_> = a.records.iter().map(|r| r.finish).collect();
+    let fc: Vec<_> = c.records.iter().map(|r| r.finish).collect();
+    assert_ne!(fa, fc, "different seeds should differ");
+}
+
+/// Llumnix beats round-robin on tail prefill latency on a skewed trace —
+/// the paper's headline comparison, at test scale.
+#[test]
+fn llumnix_beats_round_robin_on_tail_prefill() {
+    let t = trace("M-M", 400, 10.0, 5, 2_000);
+    let rr = run_serving(tiny(SchedulerKind::RoundRobin, 3), t.clone());
+    let lx = run_serving(tiny(SchedulerKind::Llumnix, 3), t);
+    let rr_report = LatencyReport::from_records(&rr.records);
+    let lx_report = LatencyReport::from_records(&lx.records);
+    assert!(
+        lx_report.prefill.p99 < rr_report.prefill.p99,
+        "llumnix p99 prefill {:.2}s should beat round-robin {:.2}s",
+        lx_report.prefill.p99,
+        rr_report.prefill.p99
+    );
+}
+
+/// Higher request rates can only increase mean end-to-end latency for the
+/// same scheduler (sanity of the load model).
+#[test]
+fn latency_monotone_in_load() {
+    let mut last = 0.0;
+    for rate in [2.0, 6.0, 12.0] {
+        let t = trace("S-S", 300, rate, 6, 2_000);
+        let out = run_serving(tiny(SchedulerKind::InfaasPlusPlus, 3), t);
+        let report = LatencyReport::from_records(&out.records);
+        assert!(
+            report.e2e.mean >= last * 0.95,
+            "mean e2e fell from {last:.2}s to {:.2}s at rate {rate}",
+            report.e2e.mean
+        );
+        last = report.e2e.mean;
+    }
+}
+
+/// Migration downtimes stay in the paper's constant band even inside a full
+/// serving run with real interference.
+#[test]
+fn migration_downtime_band_in_serving() {
+    let t = trace("M-M", 300, 9.0, 7, 2_000);
+    let out = run_serving(tiny(SchedulerKind::Llumnix, 4), t);
+    assert!(out.migration_stats.committed > 0);
+    let mean_downtime =
+        out.migration_stats.total_downtime.as_secs_f64() / out.migration_stats.committed as f64;
+    assert!(
+        (0.015..0.08).contains(&mean_downtime),
+        "mean migration downtime {mean_downtime:.3}s outside the constant band"
+    );
+    // Per-request downtimes recorded on the records agree.
+    for r in out.records.iter().filter(|r| r.migrations > 0) {
+        let per = r.migration_downtime.as_secs_f64() / r.migrations as f64;
+        assert!(per < 0.15, "request {} downtime {per:.3}s", r.id);
+    }
+}
+
+/// The decode-latency metric includes migration downtime: a migrated
+/// request's tokens keep flowing with only the downtime gap.
+#[test]
+fn records_carry_migration_accounting() {
+    let t = trace("M-M", 300, 9.0, 8, 2_000);
+    let out = run_serving(tiny(SchedulerKind::Llumnix, 4), t);
+    let migrated: Vec<_> = out.records.iter().filter(|r| r.migrations > 0).collect();
+    assert!(!migrated.is_empty(), "wanted migrated requests");
+    for r in &migrated {
+        assert!(!r.migration_downtime.is_zero());
+    }
+    let total: u64 = migrated.iter().map(|r| r.migrations as u64).sum();
+    assert_eq!(total, out.migration_stats.committed);
+    // The worst inter-token stall of a migrated request covers (at least)
+    // its migration downtime — the stall metric makes migration visible.
+    for r in &migrated {
+        let per_migration = r.migration_downtime.as_secs_f64() / r.migrations as f64;
+        assert!(
+            r.max_token_gap.as_secs_f64() + 1e-9 >= per_migration,
+            "request {}: max gap {:.4}s < per-migration downtime {:.4}s",
+            r.id,
+            r.max_token_gap.as_secs_f64(),
+            per_migration
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Shape checks of the paper's headline claims, at test scale.
+//!
+//! These do not assert the paper's absolute numbers (the substrate is a
+//! calibrated simulator, not the authors' testbed); they assert the *shape*:
+//! who wins, in which direction, and that each mechanism moves its metric.
+
+use llumnix::migration::{reschedule_downtime, ReschedulePolicy};
+use llumnix::prelude::*;
+
+fn trace(name: &str, n: usize, arrivals: Arrivals, high: f64, seed: u64) -> Trace {
+    trace_presets::by_name(name, n, arrivals)
+        .expect("preset")
+        .with_high_priority_fraction(high)
+        .generate(&SimRng::new(seed))
+}
+
+/// §6.2 / Figure 10: live-migration downtime is constant in sequence length
+/// while the baselines grow linearly.
+#[test]
+fn migration_downtime_constant_baselines_linear() {
+    let spec = InstanceSpec::llama_7b_a10();
+    let mig_1k = reschedule_downtime(ReschedulePolicy::LiveMigration, 1024, &spec).as_secs_f64();
+    let mig_8k = reschedule_downtime(ReschedulePolicy::LiveMigration, 8192, &spec).as_secs_f64();
+    assert!(mig_8k / mig_1k < 1.5, "downtime not constant");
+    for policy in [ReschedulePolicy::Recompute, ReschedulePolicy::BlockingCopy] {
+        let d1 = reschedule_downtime(policy, 1024, &spec).as_secs_f64();
+        let d8 = reschedule_downtime(policy, 8192, &spec).as_secs_f64();
+        assert!(d8 > 4.0 * d1, "{} should grow with length", policy.label());
+        assert!(
+            d8 > 10.0 * mig_8k,
+            "{} should dwarf migration",
+            policy.label()
+        );
+    }
+}
+
+/// §6.3 / Figure 11: under memory pressure Llumnix reduces preemption loss
+/// and P99 decode latency relative to INFaaS++.
+#[test]
+fn llumnix_reduces_preemptions_vs_infaas() {
+    let t = trace("M-M", 1_500, Arrivals::poisson(10.0), 0.0, 1);
+    let infaas = run_serving(
+        ServingConfig::new(SchedulerKind::InfaasPlusPlus, 16),
+        t.clone(),
+    );
+    let llumnix = run_serving(ServingConfig::new(SchedulerKind::Llumnix, 16), t);
+    let ri = LatencyReport::from_records(&infaas.records);
+    let rl = LatencyReport::from_records(&llumnix.records);
+    assert!(
+        rl.total_preemptions * 2 <= ri.total_preemptions.max(2),
+        "llumnix preemptions {} vs infaas {}",
+        rl.total_preemptions,
+        ri.total_preemptions
+    );
+    assert!(
+        rl.decode.p99 <= ri.decode.p99 * 1.05,
+        "llumnix decode p99 {:.3}s vs infaas {:.3}s",
+        rl.decode.p99,
+        ri.decode.p99
+    );
+}
+
+/// §6.4 / Figure 13: priority support accelerates high-priority requests
+/// under bursty load without collapsing normal ones.
+#[test]
+fn priorities_help_high_class() {
+    let t = trace("S-S", 2_000, Arrivals::gamma(20.0, 6.0), 0.10, 2);
+    let base = run_serving(
+        ServingConfig::new(SchedulerKind::LlumnixBase, 16),
+        t.clone(),
+    );
+    let prio = run_serving(ServingConfig::new(SchedulerKind::Llumnix, 16), t);
+    let hb = LatencyReport::for_priority(&base.records, RecordPriority::High);
+    let hp = LatencyReport::for_priority(&prio.records, RecordPriority::High);
+    assert!(
+        hp.e2e.mean < hb.e2e.mean,
+        "high-priority mean e2e should improve: {:.2}s -> {:.2}s",
+        hb.e2e.mean,
+        hp.e2e.mean
+    );
+    let nb = LatencyReport::for_priority(&base.records, RecordPriority::Normal);
+    let np = LatencyReport::for_priority(&prio.records, RecordPriority::Normal);
+    assert!(
+        np.e2e.mean < nb.e2e.mean * 1.25,
+        "normal requests should not collapse: {:.2}s -> {:.2}s",
+        nb.e2e.mean,
+        np.e2e.mean
+    );
+}
+
+/// §6.5 / Figures 14–15: at equal scaling thresholds Llumnix serves with
+/// fewer instances and better tail prefill than INFaaS++.
+#[test]
+fn autoscaling_cost_and_latency() {
+    let t = trace("L-L", 1_200, Arrivals::gamma(2.0, 4.0), 0.0, 3);
+    let scale = AutoScaleConfig::paper_default(16);
+    let infaas = run_serving(
+        ServingConfig::new(SchedulerKind::InfaasPlusPlus, 1).with_autoscale(scale),
+        t.clone(),
+    );
+    let llumnix = run_serving(
+        ServingConfig::new(SchedulerKind::Llumnix, 1).with_autoscale(scale),
+        t,
+    );
+    let ri = LatencyReport::from_records(&infaas.records);
+    let rl = LatencyReport::from_records(&llumnix.records);
+    assert!(
+        llumnix.avg_instances <= infaas.avg_instances,
+        "llumnix cost {:.2} vs infaas {:.2}",
+        llumnix.avg_instances,
+        infaas.avg_instances
+    );
+    assert!(
+        rl.prefill.p99 <= ri.prefill.p99,
+        "llumnix prefill p99 {:.2}s vs infaas {:.2}s",
+        rl.prefill.p99,
+        ri.prefill.p99
+    );
+}
+
+/// §6.6 / Figure 16: centralized scheduling stalls grow with request rate;
+/// Llumnix's distributed scheduling keeps them at zero.
+#[test]
+fn centralized_stalls_grow_with_rate() {
+    use llumnix::workload::{FixedLength, LengthDist, TraceSpec};
+    let mut last_stall = 0.0;
+    for rate in [100.0, 300.0, 600.0] {
+        let spec = TraceSpec::new(
+            "stress",
+            2_000,
+            Arrivals::poisson(rate),
+            LengthDist::Fixed(FixedLength(64)),
+            LengthDist::Fixed(FixedLength(64)),
+        );
+        let t = spec.generate(&SimRng::new(4));
+        let central = run_serving(
+            ServingConfig::new(SchedulerKind::Centralized, 32),
+            t.clone(),
+        );
+        assert!(
+            central.stalls.mean >= last_stall * 0.8,
+            "stalls should grow"
+        );
+        last_stall = central.stalls.mean;
+        let llumnix = run_serving(ServingConfig::new(SchedulerKind::Llumnix, 32), t);
+        assert_eq!(llumnix.stalls.mean, 0.0, "llumnix never stalls");
+    }
+    assert!(last_stall > 0.0, "centralized scheduler must stall at load");
+}
+
+/// §3 / Figure 5: when requests queue under a spreading dispatcher, the
+/// cluster's total free memory could usually admit them — fragmentation,
+/// not capacity, blocks them.
+#[test]
+fn fragmentation_blocks_despite_free_memory() {
+    let t = trace("M-M", 1_200, Arrivals::poisson(3.2), 0.0, 5);
+    let out = run_serving(ServingConfig::new(SchedulerKind::InfaasPlusPlus, 4), t);
+    let queue_pts = out.queued.points();
+    let hol_pts = out.hol_satisfiable.points();
+    let mut queuing = 0usize;
+    let mut satisfiable = 0usize;
+    for (q, h) in queue_pts.iter().zip(hol_pts) {
+        if q.1 > 0.0 {
+            queuing += 1;
+            if h.1 > 0.0 {
+                satisfiable += 1;
+            }
+        }
+    }
+    assert!(queuing > 5, "the scenario should produce queuing samples");
+    assert!(
+        satisfiable as f64 >= 0.6 * queuing as f64,
+        "fragmentation: {satisfiable}/{queuing} queuing samples had free memory elsewhere"
+    );
+}
