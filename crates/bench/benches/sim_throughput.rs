@@ -1,0 +1,88 @@
+//! End-to-end simulator throughput: one 16-instance, 10k-request Llumnix
+//! run, reported as simulated events per wall-clock second.
+//!
+//! Run with `cargo bench --bench sim_throughput`. The numbers land in
+//! `BENCH_sim_throughput.json` at the repo root (override with
+//! `--json <path>`, shrink with `--scale`); the committed copy is the
+//! baseline to compare hot-path changes against.
+
+use std::time::Instant;
+
+use llumnix_bench::{build_trace, BenchOpts};
+use llumnix_core::{run_serving, SchedulerKind, ServingConfig};
+use llumnix_workload::Arrivals;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Baseline {
+    benchmark: &'static str,
+    scheduler: &'static str,
+    trace: &'static str,
+    requests: usize,
+    instances: u32,
+    events_processed: u64,
+    simulated_secs: f64,
+    wall_secs: f64,
+    events_per_wall_sec: f64,
+    simulated_secs_per_wall_sec: f64,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let requests = opts.scaled(10_000);
+    let instances: u32 = 16;
+    let trace = build_trace("M-M", requests, Arrivals::poisson(10.0), 0.0, opts.seed);
+
+    // Warm-up pass so one-time costs (allocator growth, page faults) don't
+    // pollute the measured run.
+    let warmup = build_trace(
+        "M-M",
+        (requests / 10).max(10),
+        Arrivals::poisson(10.0),
+        0.0,
+        opts.seed,
+    );
+    run_serving(
+        ServingConfig::new(SchedulerKind::Llumnix, instances),
+        warmup,
+    );
+
+    let started = Instant::now();
+    let out = run_serving(ServingConfig::new(SchedulerKind::Llumnix, instances), trace);
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+
+    let simulated = out.makespan.as_secs_f64();
+    let baseline = Baseline {
+        benchmark: "sim_throughput",
+        scheduler: "llumnix",
+        trace: "M-M @ 10 req/s",
+        requests,
+        instances,
+        events_processed: out.events_processed,
+        simulated_secs: simulated,
+        wall_secs: wall,
+        events_per_wall_sec: out.events_processed as f64 / wall,
+        simulated_secs_per_wall_sec: simulated / wall,
+    };
+    println!(
+        "sim_throughput: {} events in {:.2}s wall -> {:.0} events/s \
+         ({:.0}s simulated, {:.0}x real time)",
+        baseline.events_processed,
+        baseline.wall_secs,
+        baseline.events_per_wall_sec,
+        baseline.simulated_secs,
+        baseline.simulated_secs_per_wall_sec,
+    );
+
+    let path = opts.json.clone().unwrap_or_else(|| {
+        format!(
+            "{}/../../BENCH_sim_throughput.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    let body = llumnix_metrics::to_json(&baseline);
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

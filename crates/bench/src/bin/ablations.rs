@@ -6,7 +6,7 @@
 //! interval and pairing thresholds, vLLM's preemption-recovery mode, and the
 //! block-fusion transfer optimization (§5).
 
-use llumnix_bench::{build_trace, run_arm, BenchOpts};
+use llumnix_bench::{build_trace, run_arms, ArmSpec, BenchOpts};
 use llumnix_core::{MigrationThresholds, QueuingRule, SchedulerKind, ServingConfig, VictimPolicy};
 use llumnix_engine::{PreemptionMode, QueueOrder};
 use llumnix_metrics::Table;
@@ -18,8 +18,104 @@ fn main() {
     let opts = BenchOpts::from_args();
     let n = opts.scaled(6_000);
 
+    let trace_ll = build_trace("L-L", n, Arrivals::poisson(4.0), 0.0, opts.seed);
+    let trace_mm = build_trace("M-M", n, Arrivals::poisson(10.0), 0.0, opts.seed);
+    let trace_sl = build_trace("S-L", n, Arrivals::poisson(6.0), 0.0, opts.seed);
+
+    let rules = [
+        ("full-demand (paper)", QueuingRule::FullDemand),
+        ("gradual 5s", QueuingRule::Gradual { ramp_secs: 5.0 }),
+        ("gradual 20s", QueuingRule::Gradual { ramp_secs: 20.0 }),
+    ];
+    let policies = [
+        (
+            "low-prio shortest (paper)",
+            VictimPolicy::LowPriorityShortest,
+        ),
+        ("shortest", VictimPolicy::Shortest),
+        ("longest", VictimPolicy::Longest),
+        ("oldest", VictimPolicy::Oldest),
+    ];
+    let intervals = [50u64, 100, 250, 500, 1000];
+    let thresholds = [(10.0, 60.0), (30.0, 60.0), (30.0, 120.0), (60.0, 120.0)];
+    let modes = [
+        ("recompute (paper)", PreemptionMode::Recompute),
+        ("swap", PreemptionMode::Swap),
+    ];
+    let orders = [
+        ("priority-FCFS (paper)", QueueOrder::Fcfs),
+        ("shortest-first", QueueOrder::ShortestFirst),
+    ];
+
+    // Every simulation-backed arm (sections A-E and G) fans out through one
+    // run_arms call; each section then consumes its results in push order.
+    let mut arms: Vec<ArmSpec> = Vec::new();
+    for (_, rule) in rules {
+        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
+        config.headroom = config.headroom.with_queuing_rule(rule);
+        arms.push(ArmSpec {
+            config,
+            trace: trace_ll.clone(),
+            rate: 4.0,
+            cv: 1.0,
+        });
+    }
+    for (_, policy) in policies {
+        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
+        config.victim_policy = policy;
+        arms.push(ArmSpec {
+            config,
+            trace: trace_mm.clone(),
+            rate: 10.0,
+            cv: 1.0,
+        });
+    }
+    for ms in intervals {
+        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
+        config.migration_interval = SimDuration::from_millis(ms);
+        arms.push(ArmSpec {
+            config,
+            trace: trace_mm.clone(),
+            rate: 10.0,
+            cv: 1.0,
+        });
+    }
+    for (src, dst) in thresholds {
+        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
+        config.migration_thresholds = MigrationThresholds {
+            source_below: src,
+            destination_above: dst,
+        };
+        arms.push(ArmSpec {
+            config,
+            trace: trace_mm.clone(),
+            rate: 10.0,
+            cv: 1.0,
+        });
+    }
+    for (_, mode) in modes {
+        let mut config = ServingConfig::new(SchedulerKind::InfaasPlusPlus, 16);
+        config.engine.preemption_mode = mode;
+        arms.push(ArmSpec {
+            config,
+            trace: trace_sl.clone(),
+            rate: 6.0,
+            cv: 1.0,
+        });
+    }
+    for (_, order) in orders {
+        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
+        config.engine.queue_order = order;
+        arms.push(ArmSpec {
+            config,
+            trace: trace_ll.clone(),
+            rate: 4.0,
+            cv: 1.0,
+        });
+    }
+    let mut results = run_arms(arms).into_iter();
+
     // ---- A: queuing virtual-usage rule --------------------------------
-    let trace = build_trace("L-L", n, Arrivals::poisson(4.0), 0.0, opts.seed);
     let mut table = Table::new(
         "Ablation A: queuing-demand rule (L-L @ 4 req/s)",
         &[
@@ -31,14 +127,8 @@ fn main() {
             "migr",
         ],
     );
-    for (label, rule) in [
-        ("full-demand (paper)", QueuingRule::FullDemand),
-        ("gradual 5s", QueuingRule::Gradual { ramp_secs: 5.0 }),
-        ("gradual 20s", QueuingRule::Gradual { ramp_secs: 20.0 }),
-    ] {
-        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
-        config.headroom = config.headroom.with_queuing_rule(rule);
-        let (arm, _) = run_arm(config, trace.clone(), 4.0, 1.0);
+    for (label, _) in rules {
+        let (arm, _) = results.next().expect("ablation A arm");
         table.row(&[
             label.to_string(),
             format!("{:.2}s", arm.report.prefill.mean),
@@ -51,7 +141,6 @@ fn main() {
     println!("{}", table.render());
 
     // ---- B: migration victim policy ------------------------------------
-    let trace = build_trace("M-M", n, Arrivals::poisson(10.0), 0.0, opts.seed);
     let mut table = Table::new(
         "Ablation B: migration victim policy (M-M @ 10 req/s)",
         &[
@@ -64,18 +153,8 @@ fn main() {
             "mean downtime",
         ],
     );
-    for (label, policy) in [
-        (
-            "low-prio shortest (paper)",
-            VictimPolicy::LowPriorityShortest,
-        ),
-        ("shortest", VictimPolicy::Shortest),
-        ("longest", VictimPolicy::Longest),
-        ("oldest", VictimPolicy::Oldest),
-    ] {
-        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
-        config.victim_policy = policy;
-        let (arm, out) = run_arm(config, trace.clone(), 10.0, 1.0);
+    for (label, _) in policies {
+        let (arm, out) = results.next().expect("ablation B arm");
         let downtime = out.migration_stats.total_downtime.as_secs_f64()
             / out.migration_stats.committed.max(1) as f64;
         table.row(&[
@@ -95,10 +174,8 @@ fn main() {
         "Ablation C: migration tick interval (M-M @ 10 req/s)",
         &["interval", "prefill p99", "decode p99", "preempt", "migr"],
     );
-    for ms in [50u64, 100, 250, 500, 1000] {
-        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
-        config.migration_interval = SimDuration::from_millis(ms);
-        let (arm, _) = run_arm(config, trace.clone(), 10.0, 1.0);
+    for ms in intervals {
+        let (arm, _) = results.next().expect("ablation C arm");
         table.row(&[
             format!("{ms}ms"),
             format!("{:.2}s", arm.report.prefill.p99),
@@ -114,13 +191,8 @@ fn main() {
         "Ablation D: pairing thresholds (M-M @ 10 req/s)",
         &["src/dst", "prefill p99", "decode p99", "preempt", "migr"],
     );
-    for (src, dst) in [(10.0, 60.0), (30.0, 60.0), (30.0, 120.0), (60.0, 120.0)] {
-        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
-        config.migration_thresholds = MigrationThresholds {
-            source_below: src,
-            destination_above: dst,
-        };
-        let (arm, _) = run_arm(config, trace.clone(), 10.0, 1.0);
+    for (src, dst) in thresholds {
+        let (arm, _) = results.next().expect("ablation D arm");
         table.row(&[
             format!("{src}/{dst}"),
             format!("{:.2}s", arm.report.prefill.p99),
@@ -132,7 +204,6 @@ fn main() {
     println!("{}", table.render());
 
     // ---- E: preemption-recovery mode -------------------------------------
-    let trace_sl = build_trace("S-L", n, Arrivals::poisson(6.0), 0.0, opts.seed);
     let mut table = Table::new(
         "Ablation E: preemption recovery (S-L @ 6 req/s, INFaaS++ dispatch)",
         &[
@@ -143,13 +214,8 @@ fn main() {
             "mean preempt loss",
         ],
     );
-    for (label, mode) in [
-        ("recompute (paper)", PreemptionMode::Recompute),
-        ("swap", PreemptionMode::Swap),
-    ] {
-        let mut config = ServingConfig::new(SchedulerKind::InfaasPlusPlus, 16);
-        config.engine.preemption_mode = mode;
-        let (arm, _) = run_arm(config, trace_sl.clone(), 6.0, 1.0);
+    for (label, _) in modes {
+        let (arm, _) = results.next().expect("ablation E arm");
         table.row(&[
             label.to_string(),
             format!("{:.2}s", arm.report.e2e.mean),
@@ -181,7 +247,6 @@ fn main() {
     println!("{}", table.render());
 
     // ---- G: local queue order (paper §7 future work) ----------------------
-    let trace_ll = build_trace("L-L", n, Arrivals::poisson(4.0), 0.0, opts.seed);
     let mut table = Table::new(
         "Ablation G: local queue order (L-L @ 4 req/s, Llumnix)",
         &[
@@ -193,13 +258,8 @@ fn main() {
             "preempt",
         ],
     );
-    for (label, order) in [
-        ("priority-FCFS (paper)", QueueOrder::Fcfs),
-        ("shortest-first", QueueOrder::ShortestFirst),
-    ] {
-        let mut config = ServingConfig::new(SchedulerKind::LlumnixBase, 16);
-        config.engine.queue_order = order;
-        let (arm, _) = run_arm(config, trace_ll.clone(), 4.0, 1.0);
+    for (label, _) in orders {
+        let (arm, _) = results.next().expect("ablation G arm");
         table.row(&[
             label.to_string(),
             format!("{:.2}s", arm.report.prefill.mean),
@@ -210,5 +270,6 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    assert!(results.next().is_none(), "all arm results consumed");
     let _ = InstanceSpec::llama_7b_a10();
 }

@@ -10,7 +10,9 @@
 //! cost model so each trace spans the paper's operating regime: nearly no
 //! queuing at the low end, heavy queuing pressure at the high end.
 
-use llumnix_bench::{build_trace, mean_p99, run_arm, ArmResult, BenchOpts, FIG11_SCHEDULERS};
+use llumnix_bench::{
+    build_trace, mean_p99, run_arms, ArmResult, ArmSpec, BenchOpts, FIG11_SCHEDULERS,
+};
 use llumnix_core::ServingConfig;
 use llumnix_metrics::Table;
 use llumnix_workload::Arrivals;
@@ -29,8 +31,32 @@ const SWEEPS: [(&str, [f64; 4]); 7] = [
 fn main() {
     let opts = BenchOpts::from_args();
     let n = opts.scaled(10_000);
-    let mut all: Vec<ArmResult> = Vec::new();
+    // Build every (trace, rate, scheduler) arm up front, then fan the whole
+    // sweep out across worker threads; the tables below re-group the results
+    // (returned in this insertion order) per trace.
+    let mut arms: Vec<ArmSpec> = Vec::new();
     for (trace_name, rates) in SWEEPS {
+        for rate in rates {
+            for kind in FIG11_SCHEDULERS {
+                // Round-robin explodes on high-variance traces (the paper
+                // drops it after the real traces); keep it only there.
+                if kind == llumnix_core::SchedulerKind::RoundRobin
+                    && !matches!(trace_name, "ShareGPT" | "BurstGPT")
+                {
+                    continue;
+                }
+                let trace = build_trace(trace_name, n, Arrivals::poisson(rate), 0.0, opts.seed);
+                arms.push(ArmSpec {
+                    config: ServingConfig::new(kind, 16),
+                    trace,
+                    rate,
+                    cv: 1.0,
+                });
+            }
+        }
+    }
+    let all: Vec<ArmResult> = run_arms(arms).into_iter().map(|(arm, _)| arm).collect();
+    for (trace_name, _) in SWEEPS {
         let mut table = Table::new(
             format!("Figure 11: {trace_name}, 16 instances, {n} requests"),
             &[
@@ -43,28 +69,16 @@ fn main() {
                 "migr",
             ],
         );
-        for rate in rates {
-            for kind in FIG11_SCHEDULERS {
-                // Round-robin explodes on high-variance traces (the paper
-                // drops it after the real traces); keep it only there.
-                if kind == llumnix_core::SchedulerKind::RoundRobin
-                    && !matches!(trace_name, "ShareGPT" | "BurstGPT")
-                {
-                    continue;
-                }
-                let trace = build_trace(trace_name, n, Arrivals::poisson(rate), 0.0, opts.seed);
-                let (arm, _) = run_arm(ServingConfig::new(kind, 16), trace, rate, 1.0);
-                table.row(&[
-                    format!("{rate}"),
-                    arm.scheduler.clone(),
-                    mean_p99(&arm.report.e2e),
-                    mean_p99(&arm.report.prefill),
-                    mean_p99(&arm.report.decode),
-                    format!("{:.2}s", arm.report.preemption_loss.mean),
-                    format!("{}", arm.migrations),
-                ]);
-                all.push(arm);
-            }
+        for arm in all.iter().filter(|a| a.trace == trace_name) {
+            table.row(&[
+                format!("{}", arm.rate),
+                arm.scheduler.clone(),
+                mean_p99(&arm.report.e2e),
+                mean_p99(&arm.report.prefill),
+                mean_p99(&arm.report.decode),
+                format!("{:.2}s", arm.report.preemption_loss.mean),
+                format!("{}", arm.migrations),
+            ]);
         }
         println!("{}", table.render());
     }

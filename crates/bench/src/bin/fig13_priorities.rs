@@ -8,8 +8,8 @@
 //! up to 8.6×/10× mean/P99 prefill gains, 1.2–1.5×/1.3–2.2× decode gains,
 //! and ≤4.5% degradation for normal requests.
 
-use llumnix_bench::{build_trace, BenchOpts};
-use llumnix_core::{run_serving, SchedulerKind, ServingConfig};
+use llumnix_bench::{build_trace, run_arms, ArmSpec, BenchOpts};
+use llumnix_core::{SchedulerKind, ServingConfig};
 use llumnix_metrics::{LatencyReport, RecordPriority, Table};
 use llumnix_workload::Arrivals;
 use serde::Serialize;
@@ -44,45 +44,55 @@ fn main() {
             "decode compute",
         ],
     );
+    let mut combos = Vec::new();
+    let mut arms = Vec::new();
     for cv in [2.0, 4.0, 6.0, 8.0] {
         for kind in [SchedulerKind::LlumnixBase, SchedulerKind::Llumnix] {
-            let trace = build_trace("S-S", n, Arrivals::gamma(rate, cv), 0.10, opts.seed);
-            let out = run_serving(ServingConfig::new(kind, 16), trace);
-            for class in [RecordPriority::High, RecordPriority::Normal] {
-                let report = LatencyReport::for_priority(&out.records, class);
-                let label = match class {
-                    RecordPriority::High => "high",
-                    RecordPriority::Normal => "normal",
-                };
-                table.row(&[
-                    format!("{cv}"),
-                    kind.label().to_string(),
-                    label.to_string(),
-                    format!("{:.2}s", report.e2e.mean),
-                    format!(
-                        "{:.0}ms / {:.0}ms",
-                        report.prefill.mean * 1e3,
-                        report.prefill.p99 * 1e3
-                    ),
-                    format!(
-                        "{:.1}ms / {:.1}ms",
-                        report.decode.mean * 1e3,
-                        report.decode.p99 * 1e3
-                    ),
-                    format!("{:.1}ms", report.decode_compute.mean * 1e3),
-                ]);
-                rows.push(Row {
-                    cv,
-                    scheduler: kind.label().to_string(),
-                    class: label.to_string(),
-                    e2e_mean: report.e2e.mean,
-                    prefill_mean: report.prefill.mean,
-                    prefill_p99: report.prefill.p99,
-                    decode_mean: report.decode.mean,
-                    decode_p99: report.decode.p99,
-                    decode_compute_mean: report.decode_compute.mean,
-                });
-            }
+            combos.push((cv, kind));
+            arms.push(ArmSpec {
+                config: ServingConfig::new(kind, 16),
+                trace: build_trace("S-S", n, Arrivals::gamma(rate, cv), 0.10, opts.seed),
+                rate,
+                cv,
+            });
+        }
+    }
+    let results = run_arms(arms);
+    for (&(cv, kind), (_, out)) in combos.iter().zip(&results) {
+        for class in [RecordPriority::High, RecordPriority::Normal] {
+            let report = LatencyReport::for_priority(&out.records, class);
+            let label = match class {
+                RecordPriority::High => "high",
+                RecordPriority::Normal => "normal",
+            };
+            table.row(&[
+                format!("{cv}"),
+                kind.label().to_string(),
+                label.to_string(),
+                format!("{:.2}s", report.e2e.mean),
+                format!(
+                    "{:.0}ms / {:.0}ms",
+                    report.prefill.mean * 1e3,
+                    report.prefill.p99 * 1e3
+                ),
+                format!(
+                    "{:.1}ms / {:.1}ms",
+                    report.decode.mean * 1e3,
+                    report.decode.p99 * 1e3
+                ),
+                format!("{:.1}ms", report.decode_compute.mean * 1e3),
+            ]);
+            rows.push(Row {
+                cv,
+                scheduler: kind.label().to_string(),
+                class: label.to_string(),
+                e2e_mean: report.e2e.mean,
+                prefill_mean: report.prefill.mean,
+                prefill_p99: report.prefill.p99,
+                decode_mean: report.decode.mean,
+                decode_p99: report.decode.p99,
+                decode_compute_mean: report.decode_compute.mean,
+            });
         }
     }
     println!("{}", table.render());

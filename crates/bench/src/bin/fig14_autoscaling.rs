@@ -6,7 +6,7 @@
 //! latencies and the average number of instances used (cost). The paper
 //! measures up to 12.2×/11× P99 prefill gains and 16%/18% cost savings.
 
-use llumnix_bench::{build_trace, mean_p99, run_arm, ArmResult, BenchOpts};
+use llumnix_bench::{build_trace, mean_p99, run_arms, ArmResult, ArmSpec, BenchOpts};
 use llumnix_core::{AutoScaleConfig, SchedulerKind, ServingConfig};
 use llumnix_metrics::Table;
 use llumnix_workload::Arrivals;
@@ -20,7 +20,32 @@ fn scaled_config(kind: SchedulerKind) -> ServingConfig {
 fn main() {
     let opts = BenchOpts::from_args();
     let n = opts.scaled(10_000);
-    let mut all: Vec<ArmResult> = Vec::new();
+
+    // Both sweeps fan out together; the rate sweep occupies the first
+    // `rate_arms` result slots, the CV sweep the rest.
+    let mut arms: Vec<ArmSpec> = Vec::new();
+    for rate in [1.5, 2.0, 2.5, 3.0, 3.5] {
+        for kind in [SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix] {
+            arms.push(ArmSpec {
+                config: scaled_config(kind),
+                trace: build_trace("L-L", n, Arrivals::poisson(rate), 0.0, opts.seed),
+                rate,
+                cv: 1.0,
+            });
+        }
+    }
+    let rate_arms = arms.len();
+    for cv in [2.0, 4.0, 6.0, 8.0] {
+        for kind in [SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix] {
+            arms.push(ArmSpec {
+                config: scaled_config(kind),
+                trace: build_trace("L-L", n, Arrivals::gamma(2.0, cv), 0.0, opts.seed),
+                rate: 2.0,
+                cv,
+            });
+        }
+    }
+    let all: Vec<ArmResult> = run_arms(arms).into_iter().map(|(arm, _)| arm).collect();
 
     let mut table = Table::new(
         "Figure 14 (top): auto-scaling vs request rate (Poisson, L-L)",
@@ -33,20 +58,15 @@ fn main() {
             "avg inst",
         ],
     );
-    for rate in [1.5, 2.0, 2.5, 3.0, 3.5] {
-        for kind in [SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix] {
-            let trace = build_trace("L-L", n, Arrivals::poisson(rate), 0.0, opts.seed);
-            let (arm, _) = run_arm(scaled_config(kind), trace, rate, 1.0);
-            table.row(&[
-                format!("{rate}"),
-                arm.scheduler.clone(),
-                mean_p99(&arm.report.e2e),
-                mean_p99(&arm.report.prefill),
-                mean_p99(&arm.report.decode),
-                format!("{:.2}", arm.avg_instances),
-            ]);
-            all.push(arm);
-        }
+    for arm in &all[..rate_arms] {
+        table.row(&[
+            format!("{}", arm.rate),
+            arm.scheduler.clone(),
+            mean_p99(&arm.report.e2e),
+            mean_p99(&arm.report.prefill),
+            mean_p99(&arm.report.decode),
+            format!("{:.2}", arm.avg_instances),
+        ]);
     }
     println!("{}", table.render());
 
@@ -61,20 +81,15 @@ fn main() {
             "avg inst",
         ],
     );
-    for cv in [2.0, 4.0, 6.0, 8.0] {
-        for kind in [SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix] {
-            let trace = build_trace("L-L", n, Arrivals::gamma(2.0, cv), 0.0, opts.seed);
-            let (arm, _) = run_arm(scaled_config(kind), trace, 2.0, cv);
-            table.row(&[
-                format!("{cv}"),
-                arm.scheduler.clone(),
-                mean_p99(&arm.report.e2e),
-                mean_p99(&arm.report.prefill),
-                mean_p99(&arm.report.decode),
-                format!("{:.2}", arm.avg_instances),
-            ]);
-            all.push(arm);
-        }
+    for arm in &all[rate_arms..] {
+        table.row(&[
+            format!("{}", arm.cv),
+            arm.scheduler.clone(),
+            mean_p99(&arm.report.e2e),
+            mean_p99(&arm.report.prefill),
+            mean_p99(&arm.report.decode),
+            format!("{:.2}", arm.avg_instances),
+        ]);
     }
     println!("{}", table.render());
 

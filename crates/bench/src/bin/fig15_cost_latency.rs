@@ -7,7 +7,7 @@
 //! frontier; the paper finds Llumnix achieves a ≈5 s P99 prefill at 36% less
 //! cost than INFaaS++.
 
-use llumnix_bench::{build_trace, run_arm, ArmResult, BenchOpts};
+use llumnix_bench::{build_trace, run_arms, ArmResult, ArmSpec, BenchOpts};
 use llumnix_core::{AutoScaleConfig, SchedulerKind, ServingConfig};
 use llumnix_metrics::Table;
 use llumnix_workload::Arrivals;
@@ -16,26 +16,32 @@ fn main() {
     let opts = BenchOpts::from_args();
     let n = opts.scaled(10_000);
     let rate = 2.0;
-    let mut all: Vec<ArmResult> = Vec::new();
+    let mut arms: Vec<ArmSpec> = Vec::new();
+    for t in [2.0, 5.0, 10.0, 20.0, 40.0] {
+        for kind in [SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix] {
+            arms.push(ArmSpec {
+                config: ServingConfig::new(kind, 1)
+                    .with_autoscale(AutoScaleConfig::paper_default(16).with_threshold(t)),
+                trace: build_trace("L-L", n, Arrivals::gamma(rate, 4.0), 0.0, opts.seed),
+                rate,
+                // Reuse the cv field to carry the threshold in JSON.
+                cv: t,
+            });
+        }
+    }
+    let all: Vec<ArmResult> = run_arms(arms).into_iter().map(|(arm, _)| arm).collect();
+
     let mut table = Table::new(
         format!("Figure 15: cost vs P99 prefill latency, L-L @ {rate} req/s (Gamma cv 4)"),
         &["threshold t", "scheduler", "p99 prefill", "avg instances"],
     );
-    for t in [2.0, 5.0, 10.0, 20.0, 40.0] {
-        for kind in [SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix] {
-            let trace = build_trace("L-L", n, Arrivals::gamma(rate, 4.0), 0.0, opts.seed);
-            let config = ServingConfig::new(kind, 1)
-                .with_autoscale(AutoScaleConfig::paper_default(16).with_threshold(t));
-            let (mut arm, _) = run_arm(config, trace, rate, 4.0);
-            arm.cv = t; // reuse the cv field to carry the threshold in JSON
-            table.row(&[
-                format!("{t}"),
-                arm.scheduler.clone(),
-                format!("{:.2}s", arm.report.prefill.p99),
-                format!("{:.2}", arm.avg_instances),
-            ]);
-            all.push(arm);
-        }
+    for arm in &all {
+        table.row(&[
+            format!("{}", arm.cv),
+            arm.scheduler.clone(),
+            format!("{:.2}s", arm.report.prefill.p99),
+            format!("{:.2}", arm.avg_instances),
+        ]);
     }
     println!("{}", table.render());
 

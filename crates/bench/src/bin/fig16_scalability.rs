@@ -8,7 +8,7 @@
 //! per-token slowdown); Llumnix's llumlets decide locally and report only
 //! instance-level metrics, so its stalls stay near zero.
 
-use llumnix_bench::{run_arm, ArmResult, BenchOpts};
+use llumnix_bench::{run_arms, ArmResult, ArmSpec, BenchOpts};
 use llumnix_core::{SchedulerKind, ServingConfig};
 use llumnix_metrics::Table;
 use llumnix_sim::SimRng;
@@ -17,7 +17,26 @@ use llumnix_workload::{Arrivals, FixedLength, LengthDist, TraceSpec};
 fn main() {
     let opts = BenchOpts::from_args();
     let n = opts.scaled(20_000);
-    let mut all: Vec<ArmResult> = Vec::new();
+    let mut arms: Vec<ArmSpec> = Vec::new();
+    for rate in [150.0, 300.0, 450.0, 550.0] {
+        for kind in [SchedulerKind::Centralized, SchedulerKind::Llumnix] {
+            let spec = TraceSpec::new(
+                "64x64",
+                n,
+                Arrivals::poisson(rate),
+                LengthDist::Fixed(FixedLength(64)),
+                LengthDist::Fixed(FixedLength(64)),
+            );
+            arms.push(ArmSpec {
+                config: ServingConfig::new(kind, 64),
+                trace: spec.generate(&SimRng::new(opts.seed)),
+                rate,
+                cv: 1.0,
+            });
+        }
+    }
+    let results = run_arms(arms);
+
     let mut table = Table::new(
         "Figure 16: 64 instances, 64-token inputs/outputs",
         &[
@@ -29,33 +48,22 @@ fn main() {
             "stall max",
         ],
     );
-    for rate in [150.0, 300.0, 450.0, 550.0] {
-        for kind in [SchedulerKind::Centralized, SchedulerKind::Llumnix] {
-            let spec = TraceSpec::new(
-                "64x64",
-                n,
-                Arrivals::poisson(rate),
-                LengthDist::Fixed(FixedLength(64)),
-                LengthDist::Fixed(FixedLength(64)),
-            );
-            let trace = spec.generate(&SimRng::new(opts.seed));
-            let (arm, out) = run_arm(ServingConfig::new(kind, 64), trace, rate, 1.0);
-            table.row(&[
-                format!("{rate}"),
-                arm.scheduler.clone(),
-                format!(
-                    "{:.1}ms / {:.1}ms",
-                    arm.report.decode.mean * 1e3,
-                    arm.report.decode.p99 * 1e3
-                ),
-                format!("{:.2}ms", out.stalls.mean * 1e3),
-                format!("{:.2}ms", out.stalls.p99 * 1e3),
-                format!("{:.2}ms", out.stalls.max * 1e3),
-            ]);
-            all.push(arm);
-        }
+    for (arm, out) in &results {
+        table.row(&[
+            format!("{}", arm.rate),
+            arm.scheduler.clone(),
+            format!(
+                "{:.1}ms / {:.1}ms",
+                arm.report.decode.mean * 1e3,
+                arm.report.decode.p99 * 1e3
+            ),
+            format!("{:.2}ms", out.stalls.mean * 1e3),
+            format!("{:.2}ms", out.stalls.p99 * 1e3),
+            format!("{:.2}ms", out.stalls.max * 1e3),
+        ]);
     }
     println!("{}", table.render());
+    let all: Vec<ArmResult> = results.into_iter().map(|(arm, _)| arm).collect();
 
     // Headline: the centralized slowdown at the highest rate.
     let high = all.iter().filter(|a| a.rate == 550.0).collect::<Vec<_>>();

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use llumnix_core::{run_serving, SchedulerKind, ServingConfig, ServingOutput};
@@ -27,30 +29,77 @@ pub struct BenchOpts {
     pub json: Option<String>,
     /// Scale factor on request counts (use < 1.0 for quick runs).
     pub scale: f64,
+    /// Worker-thread override (`--threads N`), if given.
+    pub threads: Option<usize>,
+}
+
+/// Parses the value following a flag, exiting with a clear diagnostic when the
+/// value is missing or malformed (a silently substituted default would make an
+/// experiment lie about its parameters).
+fn parse_flag_value<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(raw) = args.get(i + 1) else {
+        eprintln!("error: {flag} requires a value");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: invalid value {raw:?} for {flag}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 impl BenchOpts {
-    /// Parses `--seed`, `--json`, and `--scale` from `std::env::args`.
+    /// Parses `--seed`, `--json`, `--scale`, and `--threads` from
+    /// `std::env::args`.
+    ///
+    /// Malformed or missing values for these flags abort with exit code 2.
+    /// Unrecognized arguments are left alone — individual binaries consume
+    /// extra flags of their own (e.g. `fig03`'s `--rate`).
     pub fn from_args() -> Self {
         let mut opts = BenchOpts {
             seed: DEFAULT_SEED,
             json: None,
             scale: 1.0,
+            threads: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
-                "--seed" if i + 1 < args.len() => {
-                    opts.seed = args[i + 1].parse().unwrap_or(DEFAULT_SEED);
+                "--seed" => {
+                    opts.seed = parse_flag_value(&args, i, "--seed");
                     i += 2;
                 }
-                "--json" if i + 1 < args.len() => {
-                    opts.json = Some(args[i + 1].clone());
+                "--json" => {
+                    let Some(path) = args.get(i + 1) else {
+                        eprintln!("error: --json requires a path");
+                        std::process::exit(2);
+                    };
+                    opts.json = Some(path.clone());
                     i += 2;
                 }
-                "--scale" if i + 1 < args.len() => {
-                    opts.scale = args[i + 1].parse().unwrap_or(1.0);
+                "--scale" => {
+                    let scale: f64 = parse_flag_value(&args, i, "--scale");
+                    if !scale.is_finite() || scale <= 0.0 {
+                        eprintln!("error: --scale must be a positive number, got {scale}");
+                        std::process::exit(2);
+                    }
+                    opts.scale = scale;
+                    i += 2;
+                }
+                "--threads" => {
+                    let threads: usize = parse_flag_value(&args, i, "--threads");
+                    if threads == 0 {
+                        eprintln!("error: --threads must be at least 1");
+                        std::process::exit(2);
+                    }
+                    opts.threads = Some(threads);
+                    set_thread_override(threads);
                     i += 2;
                 }
                 _ => i += 1,
@@ -98,6 +147,122 @@ pub struct ArmResult {
     pub fragmentation_mean: f64,
     /// Wall-clock seconds the simulation took.
     pub sim_wall_secs: f64,
+}
+
+// ---- parallel sweep harness ----------------------------------------------
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for [`parallel_map`] / [`run_arms`]
+/// (what `--threads N` sets). Zero restores the environment-driven default.
+pub fn set_thread_override(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Worker threads for the sweep harness: the `--threads` override if set,
+/// else `LLUMNIX_THREADS` or `RAYON_NUM_THREADS` from the environment, else
+/// the machine's available parallelism.
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    for var in ["LLUMNIX_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(raw) = std::env::var(var) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item across [`num_threads`] worker threads, returning
+/// results in the items' original order.
+///
+/// Work is handed out dynamically — each worker pulls the next unclaimed item
+/// — so unevenly sized arms (a 10k-request Llumnix run next to a tiny
+/// round-robin one) still pack the cores. Items run independently, so the
+/// output is byte-identical to the serial `items.into_iter().map(f)` as long
+/// as `f` itself is deterministic; with one thread the harness *is* that
+/// serial loop.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker invocation of `f`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let queue = &queue;
+    let f = &f;
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("work queue poisoned").next();
+                        match next {
+                            Some((index, item)) => local.push((index, f(item))),
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for batch in per_worker {
+        for (index, result) in batch {
+            slots[index] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index processed exactly once"))
+        .collect()
+}
+
+/// One independent experiment arm of a sweep: a serving configuration over a
+/// trace, plus the rate/CV labels recorded in its [`ArmResult`] row.
+pub struct ArmSpec {
+    /// Serving configuration under test.
+    pub config: ServingConfig,
+    /// The workload trace.
+    pub trace: Trace,
+    /// Request rate label (req/s).
+    pub rate: f64,
+    /// Arrival-CV label (1.0 for Poisson).
+    pub cv: f64,
+}
+
+/// Runs every arm through [`run_arm`], fanned out across [`num_threads`]
+/// worker threads, and returns results in the arms' given order.
+///
+/// Arms share nothing: each owns its config and trace, and the simulation is
+/// deterministic, so the output (minus [`ArmResult::sim_wall_secs`], which
+/// measures real time) is identical whatever the thread count.
+pub fn run_arms(arms: Vec<ArmSpec>) -> Vec<(ArmResult, ServingOutput)> {
+    parallel_map(arms, |arm| run_arm(arm.config, arm.trace, arm.rate, arm.cv))
 }
 
 /// Runs one scheduler arm over a trace and flattens the results.
@@ -186,8 +351,21 @@ mod tests {
             seed: 1,
             json: None,
             scale: 0.1,
+            threads: None,
         };
         assert_eq!(opts.scaled(10_000), 1_000);
         assert_eq!(opts.scaled(50), 10, "floor at 10");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 8] {
+            set_thread_override(threads);
+            let got = parallel_map(items.clone(), |x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+        set_thread_override(0);
     }
 }

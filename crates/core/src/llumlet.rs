@@ -5,11 +5,13 @@
 //! reports to the global scheduler, and choosing which request to migrate
 //! when the global scheduler marks its instance as a migration source.
 
+use std::cell::Cell;
+
 use llumnix_engine::{InstanceEngine, InstanceId, RequestId};
 use llumnix_sim::SimTime;
 
 use crate::policy::{LoadReport, VictimPolicy};
-use crate::virtual_usage::{engine_freeness, infaas_memory_load, HeadroomConfig};
+use crate::virtual_usage::{engine_freeness, infaas_memory_load, HeadroomConfig, QueuingRule};
 
 /// One instance plus its local scheduler state.
 pub struct Llumlet {
@@ -21,6 +23,22 @@ pub struct Llumlet {
     pub starting_until: Option<SimTime>,
     /// When this instance was launched (cost accounting).
     pub launched_at: SimTime,
+    report_cache: Cell<Option<CachedReport>>,
+}
+
+/// Key and value of the memoized load report. Everything a report depends on
+/// is in the key: the engine's mutation counter, the `terminating` flag
+/// (a public field serving can flip directly, so it cannot be invalidated
+/// through engine mutations), the headroom config in force, and — only when
+/// the report is time-sensitive — the query time. The `starting` flag is
+/// excluded: it feeds no load signal and is re-derived per call.
+#[derive(Clone, Copy)]
+struct CachedReport {
+    version: u64,
+    terminating: bool,
+    headroom: HeadroomConfig,
+    now: Option<SimTime>,
+    report: LoadReport,
 }
 
 impl Llumlet {
@@ -36,6 +54,7 @@ impl Llumlet {
             terminating: false,
             starting_until,
             launched_at,
+            report_cache: Cell::new(None),
         }
     }
 
@@ -51,7 +70,45 @@ impl Llumlet {
 
     /// Builds this instance's load report (§4.3: llumlets report
     /// instance-level metrics only, never per-request state).
+    ///
+    /// Reports are cached per llumlet and recomputed only when the engine
+    /// mutated since the last query (its version counter moved), the
+    /// termination flag or headroom config changed, or — for time-sensitive
+    /// reports — time advanced. This keeps the global scheduler's
+    /// every-dispatch and every-tick sweeps over the whole fleet from
+    /// rescanning instances that saw no event in between.
     pub fn report(&self, now: SimTime, headroom: &HeadroomConfig) -> LoadReport {
+        // Queuing demand under the `Gradual` rule ramps with waiting time, so
+        // such a report is only valid at the instant it was computed; every
+        // other configuration depends solely on engine state.
+        let time_sensitive = matches!(headroom.queuing_rule, QueuingRule::Gradual { .. })
+            && self.engine.waiting_len() > 0;
+        if let Some(cached) = self.report_cache.get() {
+            if cached.version == self.engine.version()
+                && cached.terminating == self.terminating
+                && cached.headroom == *headroom
+                && (!time_sensitive || cached.now == Some(now))
+            {
+                let mut report = cached.report;
+                report.starting = self.is_starting(now);
+                return report;
+            }
+        }
+        let report = self.report_fresh(now, headroom);
+        self.report_cache.set(Some(CachedReport {
+            version: self.engine.version(),
+            terminating: self.terminating,
+            headroom: *headroom,
+            now: time_sensitive.then_some(now),
+            report,
+        }));
+        report
+    }
+
+    /// Builds the load report from scratch, bypassing the cache (the cache's
+    /// reference semantics; property tests compare [`Llumlet::report`]
+    /// against this).
+    pub fn report_fresh(&self, now: SimTime, headroom: &HeadroomConfig) -> LoadReport {
         let physical = HeadroomConfig {
             high_priority_target_tokens: None,
             ..*headroom
@@ -176,6 +233,28 @@ mod tests {
         assert_eq!(v, RequestId(1));
         // All busy → none.
         assert!(l.select_migration_victim(|_| true).is_none());
+    }
+
+    #[test]
+    fn cached_report_tracks_mutations() {
+        let mut l = llumlet(4096);
+        let h = HeadroomConfig::DISABLED;
+        let r1 = l.report(SimTime::ZERO, &h);
+        assert_eq!(r1, l.report(SimTime::ZERO, &h), "repeat query hits cache");
+        run_request(&mut l, 1, 100, 50, PriorityPair::NORMAL);
+        let r2 = l.report(SimTime::ZERO, &h);
+        assert_eq!(r2, l.report_fresh(SimTime::ZERO, &h));
+        assert_ne!(r1.freeness, r2.freeness, "engine mutation invalidates");
+        // The public terminating flag bypasses engine mutations entirely, so
+        // the cache must catch it through its key.
+        l.terminating = true;
+        assert_eq!(l.report(SimTime::ZERO, &h).freeness, f64::NEG_INFINITY);
+        // A different headroom config is a different report.
+        let r4 = l.report(SimTime::ZERO, &HeadroomConfig::paper_default());
+        assert_eq!(
+            r4,
+            l.report_fresh(SimTime::ZERO, &HeadroomConfig::paper_default())
+        );
     }
 
     #[test]

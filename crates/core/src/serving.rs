@@ -161,6 +161,8 @@ pub struct ServingOutput {
     pub high_step_batches: Summary,
     /// When the last request finished.
     pub makespan: SimTime,
+    /// Simulation events processed by the event loop (throughput metric).
+    pub events_processed: u64,
 }
 
 /// Simulation events.
@@ -206,6 +208,8 @@ pub struct ServingSim {
     arrivals_done: bool,
     makespan: SimTime,
     high_step_batches: Vec<f64>,
+    order_scratch: Vec<InstanceId>,
+    events_processed: u64,
 }
 
 impl ServingSim {
@@ -246,6 +250,8 @@ impl ServingSim {
             arrivals_done: false,
             makespan: SimTime::ZERO,
             high_step_batches: Vec::new(),
+            order_scratch: Vec::new(),
+            events_processed: 0,
         };
         for _ in 0..sim.config.initial_instances {
             sim.launch_instance(SimTime::ZERO, None);
@@ -268,8 +274,8 @@ impl ServingSim {
                 Event::MigrationTick,
             );
         }
-        for (i, f) in self.config.failures.clone().into_iter().enumerate() {
-            let at = match f {
+        for i in 0..self.config.failures.len() {
+            let at = match self.config.failures[i] {
                 FailureSpec::Instance { at, .. } => at,
                 FailureSpec::GlobalScheduler { at, .. } => at,
             };
@@ -302,12 +308,14 @@ impl ServingSim {
             stalls: Summary::from_samples(self.stall_samples),
             high_step_batches: Summary::from_samples(self.high_step_batches),
             makespan: self.makespan,
+            events_processed: self.events_processed,
         }
     }
 
     // ---- event handling ----------------------------------------------------
 
     fn handle(&mut self, event: Event) {
+        self.events_processed += 1;
         match event {
             Event::Arrival(i) => self.on_arrival(i),
             Event::StepDone(id) => self.on_step_done(id),
@@ -508,10 +516,17 @@ impl ServingSim {
         self.sample_timelines();
         self.autoscale();
         self.retry_undispatched();
-        // Safety net: kick everything (cheap at the sampling rate).
-        for id in self.order.clone() {
+        // Safety net: kick everything (cheap at the sampling rate). Kicks can
+        // remove instances from `self.order` (termination), so iterate a
+        // snapshot — taken into a persistent scratch buffer rather than a
+        // fresh clone per sample.
+        let mut snapshot = std::mem::take(&mut self.order_scratch);
+        snapshot.clear();
+        snapshot.extend_from_slice(&self.order);
+        for &id in &snapshot {
             self.kick(id);
         }
+        self.order_scratch = snapshot;
         if !self.finished_serving() {
             self.queue
                 .push(self.now + self.config.sample_interval, Event::Sample);

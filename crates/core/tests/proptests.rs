@@ -1,0 +1,102 @@
+//! Property tests for the core scheduling layer.
+//!
+//! The llumlet memoizes its load report behind the engine's version counter;
+//! these tests drive a llumlet through arbitrary event sequences and check
+//! the cached [`Llumlet::report`] never drifts from the from-scratch
+//! [`Llumlet::report_fresh`].
+
+use llumnix_core::{HeadroomConfig, Llumlet, QueuingRule};
+use llumnix_engine::{
+    EngineConfig, InstanceEngine, InstanceId, PriorityPair, RequestId, RequestMeta,
+};
+use llumnix_model::InstanceSpec;
+use llumnix_sim::SimTime;
+use proptest::prelude::*;
+
+/// A random llumlet-visible event.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Admit a request (input tokens, output tokens, high priority).
+    Add(u32, u32, bool),
+    /// Run one engine step to completion, if one is runnable.
+    Step,
+    /// Abort a request by id.
+    Abort(u64),
+    /// Ask a request to drain out.
+    Drain(u64),
+    /// Flip the terminating flag serving.rs sets directly.
+    SetTerminating(bool),
+    /// Advance time without touching the engine.
+    AdvanceMillis(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..300, 1u32..40, any::<bool>()).prop_map(|(i, o, h)| Op::Add(i, o, h)),
+        Just(Op::Step),
+        (0u64..30).prop_map(Op::Abort),
+        (0u64..30).prop_map(Op::Drain),
+        any::<bool>().prop_map(Op::SetTerminating),
+        (1u64..5_000).prop_map(Op::AdvanceMillis),
+    ]
+}
+
+proptest! {
+    /// After every event, the memoized report equals a from-scratch one for
+    /// both the paper-default headroom and a time-sensitive gradual rule —
+    /// queried twice so both the miss and the hit path are checked.
+    #[test]
+    fn cached_report_never_diverges_from_fresh(ops in prop::collection::vec(op(), 1..80)) {
+        let mut llumlet = Llumlet::new(
+            InstanceEngine::new(
+                InstanceId(0),
+                InstanceSpec::tiny_for_tests(4096),
+                EngineConfig::default(),
+            ),
+            SimTime::ZERO,
+            None,
+        );
+        let configs = [
+            HeadroomConfig::DISABLED,
+            HeadroomConfig::paper_default(),
+            HeadroomConfig::paper_default()
+                .with_queuing_rule(QueuingRule::Gradual { ramp_secs: 10.0 }),
+        ];
+        let mut now = SimTime::ZERO;
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Add(input, output, high) => {
+                    let meta = RequestMeta {
+                        id: RequestId(next_id),
+                        input_len: input,
+                        output_len: output,
+                        priority: if high { PriorityPair::HIGH } else { PriorityPair::NORMAL },
+                        arrival: now,
+                    };
+                    next_id += 1;
+                    llumlet.engine.add_request(meta, now);
+                }
+                Op::Step => {
+                    if let Some(plan) = llumlet.engine.poll_step(now) {
+                        now = plan.finish_at();
+                        llumlet.engine.complete_step(now);
+                    }
+                }
+                Op::Abort(id) => {
+                    let _ = llumlet.engine.abort_request(RequestId(id));
+                }
+                Op::Drain(id) => {
+                    let _ = llumlet.engine.request_drain(RequestId(id));
+                }
+                Op::SetTerminating(t) => llumlet.terminating = t,
+                Op::AdvanceMillis(ms) => now += llumnix_sim::SimDuration::from_millis(ms),
+            }
+            for headroom in &configs {
+                let fresh = llumlet.report_fresh(now, headroom);
+                prop_assert_eq!(llumlet.report(now, headroom), fresh, "miss path, op {:?}", op);
+                prop_assert_eq!(llumlet.report(now, headroom), fresh, "hit path, op {:?}", op);
+            }
+        }
+    }
+}

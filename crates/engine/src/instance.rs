@@ -13,7 +13,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use llumnix_model::{CostModel, DecodeBatch, InstanceSpec, PrefillBatch};
+use llumnix_model::{CostModel, DecodeBatch, DecodeCostMemo, InstanceSpec, PrefillBatch};
 use llumnix_sim::{SimDuration, SimTime};
 
 use crate::block::{BlockError, BlockManager, ReservationId};
@@ -163,6 +163,8 @@ pub struct InstanceEngine {
     finished: Vec<SeqState>,
     pending_events: Vec<EngineEvent>,
     stats: EngineStats,
+    version: u64,
+    decode_memo: DecodeCostMemo,
 }
 
 impl InstanceEngine {
@@ -185,6 +187,8 @@ impl InstanceEngine {
             finished: Vec::new(),
             pending_events: Vec::new(),
             stats: EngineStats::default(),
+            version: 0,
+            decode_memo: DecodeCostMemo::new(),
         }
     }
 
@@ -198,10 +202,22 @@ impl InstanceEngine {
         &self.stats
     }
 
+    /// A counter bumped by every mutating call, so load reports derived from
+    /// this engine can be cached and invalidated without tracking which
+    /// mutation touched which signal.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+
     // ---- request intake -------------------------------------------------
 
     /// Enqueues a newly dispatched request.
     pub fn add_request(&mut self, meta: RequestMeta, now: SimTime) {
+        self.touch();
         debug_assert!(!self.states.contains_key(&meta.id), "duplicate {}", meta.id);
         let state = SeqState::new(meta, now);
         self.waiting.insert_with_demand(
@@ -216,6 +232,7 @@ impl InstanceEngine {
     /// Aborts a request wherever it is (failure injection / cancellations).
     /// Returns its state if it was known.
     pub fn abort_request(&mut self, id: RequestId) -> Option<SeqState> {
+        self.touch();
         self.waiting.remove(id);
         self.prefill_pending.retain(|&r| r != id);
         self.running.retain(|&r| r != id);
@@ -249,6 +266,7 @@ impl InstanceEngine {
         if self.in_flight.is_some() {
             return None;
         }
+        self.touch();
         self.admit(now);
         let plan = if !self.prefill_pending.is_empty() {
             Some(self.plan_prefill(now))
@@ -401,12 +419,14 @@ impl InstanceEngine {
             .map(|id| self.states[id].total_len() as u64)
             .sum();
         let duration = self
-            .spec
-            .cost
-            .decode_step(DecodeBatch {
-                num_seqs: self.running.len() as u32,
-                total_tokens,
-            })
+            .decode_memo
+            .decode_step(
+                &self.spec.cost,
+                DecodeBatch {
+                    num_seqs: self.running.len() as u32,
+                    total_tokens,
+                },
+            )
             .mul_f64(self.overhead_factor());
         self.stats.decode_steps += 1;
         Some(StepPlan {
@@ -469,6 +489,7 @@ impl InstanceEngine {
     /// step planning, admission-time aborts). Callers should collect these
     /// after every [`InstanceEngine::poll_step`].
     pub fn take_pending_events(&mut self) -> Vec<EngineEvent> {
+        self.touch();
         std::mem::take(&mut self.pending_events)
     }
 
@@ -478,6 +499,7 @@ impl InstanceEngine {
     ///
     /// Panics if no step is in flight (a scheduling logic error).
     pub fn complete_step(&mut self, now: SimTime) -> Vec<EngineEvent> {
+        self.touch();
         let plan = self.in_flight.take().expect("complete_step without a step");
         self.stats.busy_time += plan.duration;
         let mut events = std::mem::take(&mut self.pending_events);
@@ -565,6 +587,7 @@ impl InstanceEngine {
     /// Takes the states of requests that finished (or were aborted at
     /// admission) since the last call.
     pub fn take_finished(&mut self) -> Vec<SeqState> {
+        self.touch();
         std::mem::take(&mut self.finished)
     }
 
@@ -573,6 +596,7 @@ impl InstanceEngine {
     /// Requests that a running request leave the batch for its final
     /// migration stage.
     pub fn request_drain(&mut self, id: RequestId) -> DrainOutcome {
+        self.touch();
         if !self.running.contains(&id) {
             return DrainOutcome::NotRunning;
         }
@@ -592,12 +616,14 @@ impl InstanceEngine {
     /// Cancels a pending (not yet executed) drain request, e.g. when the
     /// migration that asked for it aborts before the step boundary.
     pub fn cancel_drain(&mut self, id: RequestId) {
+        self.touch();
         self.drain_requested.remove(&id);
     }
 
     /// Re-inserts a drained request into the batch (migration aborted after
     /// the drain, e.g. destination failure).
     pub fn undrain(&mut self, id: RequestId) {
+        self.touch();
         let s = self.states.get_mut(&id).expect("undrain unknown request");
         assert_eq!(s.phase, Phase::Draining, "undrain of non-draining {id}");
         s.phase = Phase::Running;
@@ -611,6 +637,7 @@ impl InstanceEngine {
 
     /// Mutable state access for the migration coordinator's accounting.
     pub fn state_mut(&mut self, id: RequestId) -> Option<&mut SeqState> {
+        self.touch();
         self.states.get_mut(&id)
     }
 
@@ -630,6 +657,7 @@ impl InstanceEngine {
     /// Removes a migrated-out request entirely, releasing its blocks
     /// (the source side of the migration commit). Returns its state.
     pub fn finish_migration_out(&mut self, id: RequestId) -> SeqState {
+        self.touch();
         let _ = self.blocks.release(id);
         let mut s = self
             .states
@@ -647,6 +675,7 @@ impl InstanceEngine {
         mut state: SeqState,
         reservation: ReservationId,
     ) -> Result<(), BlockError> {
+        self.touch();
         let id = state.meta.id;
         let blocks = self.blocks.commit_reservation(reservation, id)?;
         state.blocks_held = blocks;
@@ -658,26 +687,31 @@ impl InstanceEngine {
 
     /// Reserves blocks for an incoming migration stage.
     pub fn reserve_blocks(&mut self, blocks: u32) -> Result<ReservationId, BlockError> {
+        self.touch();
         self.blocks.reserve(blocks)
     }
 
     /// Grows an incoming migration's reservation.
     pub fn grow_reservation(&mut self, id: ReservationId, extra: u32) -> Result<(), BlockError> {
+        self.touch();
         self.blocks.grow_reservation(id, extra)
     }
 
     /// Releases an aborted migration's reservation.
     pub fn release_reservation(&mut self, id: ReservationId) -> Result<u32, BlockError> {
+        self.touch();
         self.blocks.release_reservation(id)
     }
 
     /// Registers that a migration started touching this instance.
     pub fn migration_started(&mut self) {
+        self.touch();
         self.active_migrations += 1;
     }
 
     /// Registers that a migration stopped touching this instance.
     pub fn migration_ended(&mut self) {
+        self.touch();
         debug_assert!(self.active_migrations > 0);
         self.active_migrations = self.active_migrations.saturating_sub(1);
     }

@@ -161,6 +161,58 @@ impl CalibratedCostModel {
     }
 }
 
+/// Memoized decode-step latencies, quantized to token buckets.
+///
+/// Decode steps dominate the simulator's cost-model calls, and the batches
+/// they describe recur constantly across instances and experiment arms once
+/// total tokens are bucketed. The memo evaluates the underlying model at the
+/// bucket floor (`bucket * DECODE_MEMO_BUCKET_TOKENS`) so every lookup that
+/// lands in a bucket sees the same duration regardless of call order — the
+/// memoized simulation stays deterministic and run-to-run identical.
+///
+/// The table is a lazily grown dense `Vec` per batch size (bounded by the
+/// engine's `max_batch_size`), with 0 as the "unset" sentinel; durations are
+/// stored as microseconds + 1.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeCostMemo {
+    rows: Vec<Vec<u64>>,
+}
+
+/// Token-bucket width of [`DecodeCostMemo`].
+pub const DECODE_MEMO_BUCKET_TOKENS: u64 = 16;
+
+impl DecodeCostMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memoized [`CostModel::decode_step`]: the batch's total tokens are
+    /// quantized down to the bucket floor before evaluation.
+    pub fn decode_step(&mut self, model: &dyn CostModel, batch: DecodeBatch) -> SimDuration {
+        if batch.num_seqs == 0 {
+            return SimDuration::ZERO;
+        }
+        let n = batch.num_seqs as usize;
+        let b = (batch.total_tokens / DECODE_MEMO_BUCKET_TOKENS) as usize;
+        if self.rows.len() <= n {
+            self.rows.resize_with(n + 1, Vec::new);
+        }
+        let row = &mut self.rows[n];
+        if row.len() <= b {
+            row.resize(b + 1, 0);
+        }
+        if row[b] == 0 {
+            let d = model.decode_step(DecodeBatch {
+                num_seqs: batch.num_seqs,
+                total_tokens: b as u64 * DECODE_MEMO_BUCKET_TOKENS,
+            });
+            row[b] = d.as_micros().saturating_add(1);
+        }
+        SimDuration::from_micros(row[b] - 1)
+    }
+}
+
 impl CostModel for CalibratedCostModel {
     fn decode_step(&self, batch: DecodeBatch) -> SimDuration {
         if batch.num_seqs == 0 {
@@ -297,6 +349,65 @@ mod tests {
             "derived base {:.1} vs calibrated {:.1}",
             d.decode_base_ms,
             c.decode_base_ms
+        );
+    }
+
+    #[test]
+    fn memo_matches_model_at_bucket_floor_and_is_order_independent() {
+        let m = seven_b();
+        let mut memo = DecodeCostMemo::new();
+        // Two token counts in the same bucket give the same memoized value.
+        let a = memo.decode_step(
+            &m,
+            DecodeBatch {
+                num_seqs: 4,
+                total_tokens: 1_000,
+            },
+        );
+        let b = memo.decode_step(
+            &m,
+            DecodeBatch {
+                num_seqs: 4,
+                total_tokens: 1_007,
+            },
+        );
+        assert_eq!(a, b);
+        // The stored value is the model evaluated at the bucket floor, no
+        // matter which member of the bucket was seen first.
+        let floor = (1_000 / DECODE_MEMO_BUCKET_TOKENS) * DECODE_MEMO_BUCKET_TOKENS;
+        let expect = m.decode_step(DecodeBatch {
+            num_seqs: 4,
+            total_tokens: floor,
+        });
+        assert_eq!(a, expect);
+        let mut memo2 = DecodeCostMemo::new();
+        let b2 = memo2.decode_step(
+            &m,
+            DecodeBatch {
+                num_seqs: 4,
+                total_tokens: 1_007,
+            },
+        );
+        assert_eq!(b2, expect, "first-seen member must not matter");
+        // Different batch sizes are distinct entries.
+        let c = memo.decode_step(
+            &m,
+            DecodeBatch {
+                num_seqs: 5,
+                total_tokens: 1_000,
+            },
+        );
+        assert!(c > a);
+        // Empty batches still cost nothing.
+        assert_eq!(
+            memo.decode_step(
+                &m,
+                DecodeBatch {
+                    num_seqs: 0,
+                    total_tokens: 0
+                }
+            ),
+            SimDuration::ZERO
         );
     }
 

@@ -20,7 +20,10 @@ mod memory;
 mod specs;
 mod transfer;
 
-pub use cost::{CalibratedCostModel, CostModel, DecodeBatch, PrefillBatch};
+pub use cost::{
+    CalibratedCostModel, CostModel, DecodeBatch, DecodeCostMemo, PrefillBatch,
+    DECODE_MEMO_BUCKET_TOKENS,
+};
 pub use instance::InstanceSpec;
 pub use memory::{presets, BlockGeometry};
 pub use specs::{GpuSpec, ModelSpec};

@@ -5,22 +5,31 @@
 //! statistically independent streams whose values do not change when other
 //! components are added or reordered, which keeps whole experiments
 //! reproducible down to the byte.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256** whose state is expanded
+//! from the 64-bit seed with SplitMix64, so the crate carries no external
+//! RNG dependency and the streams are identical on every platform.
 
 /// A seeded RNG with stable, label-based splitting.
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from an experiment seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         SimRng {
             seed,
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
@@ -46,9 +55,35 @@ impl SimRng {
         SimRng::new(child_seed)
     }
 
-    /// A uniform sample in `[0, 1)`.
+    /// The next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    /// A uniform sample in `[0, 1)` using the top 53 bits.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform sample in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -64,30 +99,12 @@ impl SimRng {
         if n == 0 {
             return 0;
         }
-        self.inner.gen_range(0..n)
+        (self.next_u64() % n as u64) as usize
     }
 
     /// A Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         self.uniform() < p.clamp(0.0, 1.0)
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -174,5 +191,17 @@ mod tests {
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_varied() {
+        let mut a = SimRng::new(5);
+        let mut b = SimRng::new(5);
+        let mut buf_a = [0u8; 13];
+        let mut buf_b = [0u8; 13];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+        assert!(buf_a.iter().any(|&x| x != buf_a[0]));
     }
 }

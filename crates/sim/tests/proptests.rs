@@ -2,7 +2,6 @@
 
 use llumnix_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
-use rand::RngCore;
 
 proptest! {
     /// Events always pop in non-decreasing time order, with FIFO ties.

@@ -118,11 +118,24 @@ fn watermark_trades_queuing_for_fewer_preemptions() {
 /// The centralized baseline's stall penalty is visible in per-token decode
 /// latencies: the same scheduler with a free central server is strictly
 /// faster.
+///
+/// Uses the Figure 16 workload shape — fixed 64-token inputs and outputs —
+/// so the two runs batch near-identically and the comparison isolates the
+/// stall penalty instead of length-mix batching noise (with a variable-length
+/// trace the ~ms stall signal can be swamped by divergent batch composition).
 #[test]
 fn centralized_stalls_surface_in_latency() {
     use llumnix::core::CentralSchedulerModel;
     use llumnix::sim::SimDuration;
-    let trace = capped("S-S", 500, 25.0, 5);
+    use llumnix::workload::{FixedLength, LengthDist, TraceSpec};
+    let trace = TraceSpec::new(
+        "stall-probe",
+        500,
+        Arrivals::poisson(25.0),
+        LengthDist::Fixed(FixedLength(64)),
+        LengthDist::Fixed(FixedLength(64)),
+    )
+    .generate(&SimRng::new(5));
     let stalled = run_serving(
         ServingConfig::new(SchedulerKind::Centralized, 4)
             .with_spec(InstanceSpec::tiny_for_tests(2_048)),

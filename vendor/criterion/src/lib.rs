@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `black_box`,
+//! `Criterion::bench_function`, `benchmark_group` / `bench_with_input`,
+//! `BenchmarkId`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple wall-clock timer: warm up briefly, then run batches
+//! until enough time has accumulated and report mean time per iteration.
+//! No statistics, plots, or baselines; the point is that `cargo bench`
+//! compiles and produces readable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes runs by time, not
+    /// by sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            result: None,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.0), &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id from just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, accumulating iterations until the measurement budget is
+    /// spent (at least 10 iterations, with a short warm-up).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if (iters >= 10 && start.elapsed() >= budget) || iters >= 10_000_000 {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    match bencher.result {
+        Some((elapsed, iters)) => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!(
+                "{name:<40} time: [{}]  ({iters} iterations)",
+                format_time(per_iter)
+            );
+        }
+        None => println!("{name:<40} (no measurement)"),
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Collects benchmark functions into one group runner, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

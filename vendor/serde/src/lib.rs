@@ -1,0 +1,356 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no package registry, so the
+//! real `serde` cannot be fetched. This crate provides the subset the
+//! workspace uses with the same surface: `Serialize` / `Deserialize` traits,
+//! `#[derive(Serialize, Deserialize)]`, and enough impls for the primitive,
+//! container, and string types the simulator serializes.
+//!
+//! Instead of the visitor architecture, both traits go through a concrete
+//! JSON-like [`Value`] tree: serializing produces a `Value`, deserializing
+//! consumes one. `serde_json` (also vendored) converts between `Value` and
+//! text. Derived representations match serde's defaults so any JSON written
+//! by the real serde round-trips: unit enum variants serialize as `"Name"`,
+//! newtype and struct variants as `{"Name": ...}`, newtype structs as their
+//! inner value, and structs as objects in field order.
+
+// Lets the `::serde::...` paths the derive macros emit resolve even when the
+// expansion happens inside this crate (e.g. the tests below).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree: the common currency between the two traits.
+///
+/// Objects preserve insertion order so derived serialization is stable, which
+/// the benchmarks' byte-identical determinism checks rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this value is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Deserialization error: a message plus an outermost-first context path.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+    path: Vec<String>,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Prepends a location (e.g. `"Trace.requests"`) to the error path.
+    pub fn context(mut self, location: &str) -> Self {
+        self.path.insert(0, location.to_string());
+        self
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{}: {}", self.path.join("."), self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be turned into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ------------------------------------------------------------- Serialize
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+// ----------------------------------------------------------- Deserialize
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+fn value_as_i128(value: &Value) -> Result<i128, Error> {
+    match value {
+        Value::U64(n) => Ok(*n as i128),
+        Value::I64(n) => Ok(*n as i128),
+        Value::F64(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(63) => Ok(*f as i128),
+        other => Err(Error::custom(format!("expected integer, got {other:?}"))),
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = value_as_i128(value)?;
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!(
+                        "integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Arr(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| T::from_value(v).map_err(|e| e.context(&format!("[{i}]"))))
+                .collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident . $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Arr(items) if items.len() == $len => Ok((
+                        $($name::from_value(&items[$idx])
+                            .map_err(|e| e.context(&format!("[{}]", $idx)))?,)+
+                    )),
+                    other => Err(Error::custom(format!(
+                        "expected array of length {}, got {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (A.0, B.1 ; 2)
+    (A.0, B.1, C.2 ; 3)
+    (A.0, B.1, C.2, D.3 ; 4)
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&17u32.to_value()).unwrap(), 17);
+        assert_eq!(i32::from_value(&Value::I64(-4)).unwrap(), -4);
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let v = vec!["a".to_string(), "b".to_string()].to_value();
+        assert_eq!(Vec::<String>::from_value(&v).unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn derive_named_struct_and_enums() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Point {
+            x: u32,
+            label: String,
+        }
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Wrapper(u64);
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Mixed {
+            Unit,
+            Boxed(Wrapper),
+            Both { a: f64, b: bool },
+        }
+
+        let p = Point {
+            x: 3,
+            label: "hi".into(),
+        };
+        let v = p.to_value();
+        assert_eq!(v.get("x"), Some(&Value::U64(3)));
+        assert_eq!(Point::from_value(&v).unwrap(), p);
+
+        assert_eq!(Wrapper(9).to_value(), Value::U64(9));
+        assert_eq!(Wrapper::from_value(&Value::U64(9)).unwrap(), Wrapper(9));
+
+        for m in [
+            Mixed::Unit,
+            Mixed::Boxed(Wrapper(5)),
+            Mixed::Both { a: 1.5, b: true },
+        ] {
+            assert_eq!(Mixed::from_value(&m.to_value()).unwrap(), m);
+        }
+        assert!(Mixed::from_value(&Value::Str("Nope".into())).is_err());
+    }
+}
