@@ -1,0 +1,199 @@
+//! Dispatch-path microbenchmark: full-fleet rescan vs incremental index.
+//!
+//! Per dispatch decision the global scheduler used to rebuild a
+//! `Vec<LoadReport>` over the whole fleet and scan it for the freeness
+//! argmax; the incremental path refreshes only the instances whose engines
+//! changed since the last decision and reads the argmax off an ordered
+//! index. Between decisions a handful of instances change (a request lands
+//! or finishes somewhere), so both paths see the same perturbation stream:
+//! `d` instances dirtied per decision, alternating request adds and aborts
+//! to keep fleet state bounded.
+//!
+//! Run with `cargo bench --bench fleet_dispatch`. The numbers land in
+//! `BENCH_fleet_dispatch.json` at the repo root (override with
+//! `--json <path>`, shrink rounds with `--scale`); the committed copy is
+//! the baseline `scripts/bench_check` compares against.
+
+use std::time::Instant;
+
+use llumnix_bench::BenchOpts;
+use llumnix_core::policy::LoadReport;
+use llumnix_core::{
+    DispatchIndex, Dispatcher, HeadroomConfig, IndexPolicy, InstanceStore, Llumlet, SchedulerKind,
+};
+use llumnix_engine::{
+    EngineConfig, InstanceEngine, InstanceId, PriorityPair, RequestId, RequestMeta,
+};
+use llumnix_model::InstanceSpec;
+use llumnix_sim::SimTime;
+use serde::Serialize;
+
+/// Instances dirtied per dispatch decision.
+const PERTURB: usize = 4;
+
+#[derive(Serialize)]
+struct Arm {
+    instances: usize,
+    rounds: usize,
+    rescan_ns_per_decision: f64,
+    indexed_ns_per_decision: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    benchmark: &'static str,
+    perturbed_per_decision: usize,
+    arms: Vec<Arm>,
+}
+
+fn build_fleet(n: usize) -> InstanceStore {
+    let mut store = InstanceStore::new();
+    for i in 0..n {
+        let mut l = Llumlet::new(
+            InstanceEngine::new(
+                InstanceId(i as u32),
+                InstanceSpec::tiny_for_tests(16_384),
+                EngineConfig::default(),
+            ),
+            SimTime::ZERO,
+            None,
+        );
+        // Stagger the initial load so the argmax moves around.
+        for j in 0..(i % 7) {
+            l.engine.add_request(
+                meta((i * 16 + j) as u64, 64 + (j as u32) * 32),
+                SimTime::ZERO,
+            );
+        }
+        store.insert(InstanceId(i as u32), l);
+    }
+    store
+}
+
+fn meta(id: u64, input: u32) -> RequestMeta {
+    RequestMeta {
+        id: RequestId(id),
+        input_len: input,
+        output_len: 64,
+        priority: PriorityPair::NORMAL,
+        arrival: SimTime::ZERO,
+    }
+}
+
+/// Dirties `PERTURB` instances, walking the fleet so every instance keeps
+/// churning: even rounds add one request each, the following odd round
+/// aborts exactly those requests (same instances), keeping state bounded.
+fn perturb(store: &mut InstanceStore, n: usize, round: usize) {
+    let adding = round.is_multiple_of(2);
+    let base = if adding { round } else { round - 1 } * PERTURB;
+    for k in 0..PERTURB {
+        let slot = base + k;
+        let l = store
+            .get_mut(InstanceId((slot % n) as u32))
+            .expect("fleet instance");
+        if adding {
+            let input = 64 + (round % 5) as u32 * 48;
+            l.engine
+                .add_request(meta((1_000_000 + slot) as u64, input), SimTime::ZERO);
+        } else {
+            let aborted = l.engine.abort_request(RequestId((1_000_000 + slot) as u64));
+            debug_assert!(
+                aborted.is_some(),
+                "abort must hit what the even round added"
+            );
+        }
+    }
+}
+
+/// The pre-index dispatch path: rebuild every report, scan for the argmax.
+fn run_rescan(n: usize, rounds: usize, headroom: &HeadroomConfig) -> (f64, u64) {
+    let mut store = build_fleet(n);
+    let mut dispatcher = Dispatcher::new();
+    let mut sink = 0u64;
+    let started = Instant::now();
+    for round in 0..rounds {
+        perturb(&mut store, n, round);
+        let reports: Vec<LoadReport> = store
+            .iter()
+            .map(|(_, l)| l.report(SimTime::ZERO, headroom))
+            .collect();
+        if let Some(id) = dispatcher.dispatch_for(SchedulerKind::Llumnix, &reports, false) {
+            sink = sink.wrapping_add(u64::from(id.0));
+        }
+    }
+    (started.elapsed().as_secs_f64(), sink)
+}
+
+/// The indexed path: refresh only dirtied instances, read the argmax.
+fn run_indexed(n: usize, rounds: usize, headroom: &HeadroomConfig) -> (f64, u64) {
+    let mut store = build_fleet(n);
+    // The trees a Llumnix serving run actually maintains for this fleet.
+    let mut index = DispatchIndex::new(IndexPolicy::for_run(SchedulerKind::Llumnix, false));
+    let mut dispatcher = Dispatcher::new();
+    let mut dirty = Vec::new();
+    let mut sink = 0u64;
+    let started = Instant::now();
+    for round in 0..rounds {
+        perturb(&mut store, n, round);
+        store.take_dirty(&mut dirty);
+        for &id in &dirty {
+            let report = store.get(id).expect("live").report(SimTime::ZERO, headroom);
+            index.update(&report);
+        }
+        index.sync_order(store.order());
+        if let Some(id) = dispatcher.dispatch_indexed(SchedulerKind::Llumnix, &index, false) {
+            sink = sink.wrapping_add(u64::from(id.0));
+        }
+    }
+    (started.elapsed().as_secs_f64(), sink)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let rounds = opts.scaled(200_000);
+    let headroom = HeadroomConfig::paper_default();
+    let mut arms = Vec::new();
+    for n in [64usize, 256, 1024] {
+        // Warm-up at a tenth of the rounds absorbs one-time costs.
+        let w = (rounds / 10).max(10);
+        run_rescan(n, w, &headroom);
+        run_indexed(n, w, &headroom);
+
+        let (rescan_secs, sink_a) = run_rescan(n, rounds, &headroom);
+        let (indexed_secs, sink_b) = run_indexed(n, rounds, &headroom);
+        assert_eq!(sink_a, sink_b, "paths diverged at fleet size {n}");
+
+        let rescan_ns = rescan_secs * 1e9 / rounds as f64;
+        let indexed_ns = indexed_secs * 1e9 / rounds as f64;
+        println!(
+            "fleet_dispatch: n={n:5} rescan {rescan_ns:9.1} ns/decision, \
+             indexed {indexed_ns:7.1} ns/decision, speedup {:.2}x",
+            rescan_ns / indexed_ns
+        );
+        arms.push(Arm {
+            instances: n,
+            rounds,
+            rescan_ns_per_decision: rescan_ns,
+            indexed_ns_per_decision: indexed_ns,
+            speedup: rescan_ns / indexed_ns,
+        });
+    }
+
+    let baseline = Baseline {
+        benchmark: "fleet_dispatch",
+        perturbed_per_decision: PERTURB,
+        arms,
+    };
+    let path = opts.json.clone().unwrap_or_else(|| {
+        format!(
+            "{}/../../BENCH_fleet_dispatch.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    let body = llumnix_metrics::to_json(&baseline);
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

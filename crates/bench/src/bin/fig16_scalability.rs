@@ -1,4 +1,5 @@
-//! Figure 16: scheduling scalability with 64 instances.
+//! Figure 16: scheduling scalability with 64 instances — extended with
+//! 128- and 256-instance arms.
 //!
 //! Paper setup (§6.6): 64 LLaMA-7B instances (GPU execution replaced by
 //! measured sleeps — exactly this repo's cost model), requests with 64-token
@@ -7,6 +8,11 @@
 //! producing scheduling stalls that reach ≈40 ms per iteration (a 1.7×
 //! per-token slowdown); Llumnix's llumlets decide locally and report only
 //! instance-level metrics, so its stalls stay near zero.
+//!
+//! Beyond the paper, the sweep doubles the fleet twice (128 and 256
+//! instances) holding the per-instance peak rate fixed (550/64 ≈ 8.6 req/s
+//! per instance) and scaling the request count with the fleet, probing
+//! whether the global scheduler's per-decision cost grows with fleet size.
 
 use llumnix_bench::{run_arms, ArmResult, ArmSpec, BenchOpts};
 use llumnix_core::{SchedulerKind, ServingConfig};
@@ -16,30 +22,40 @@ use llumnix_workload::{Arrivals, FixedLength, LengthDist, TraceSpec};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let n = opts.scaled(20_000);
+    // (fleet size, arrival rates): the paper's rate sweep at 64 instances,
+    // then the peak per-instance rate carried to doubled fleets.
+    let sweep: [(usize, &[f64]); 3] = [
+        (64, &[150.0, 300.0, 450.0, 550.0]),
+        (128, &[1_100.0]),
+        (256, &[2_200.0]),
+    ];
     let mut arms: Vec<ArmSpec> = Vec::new();
-    for rate in [150.0, 300.0, 450.0, 550.0] {
-        for kind in [SchedulerKind::Centralized, SchedulerKind::Llumnix] {
-            let spec = TraceSpec::new(
-                "64x64",
-                n,
-                Arrivals::poisson(rate),
-                LengthDist::Fixed(FixedLength(64)),
-                LengthDist::Fixed(FixedLength(64)),
-            );
-            arms.push(ArmSpec {
-                config: ServingConfig::new(kind, 64),
-                trace: spec.generate(&SimRng::new(opts.seed)),
-                rate,
-                cv: 1.0,
-            });
+    for (instances, rates) in sweep {
+        let n = opts.scaled(20_000 * instances / 64);
+        for &rate in rates {
+            for kind in [SchedulerKind::Centralized, SchedulerKind::Llumnix] {
+                let spec = TraceSpec::new(
+                    format!("{instances}x64"),
+                    n,
+                    Arrivals::poisson(rate),
+                    LengthDist::Fixed(FixedLength(64)),
+                    LengthDist::Fixed(FixedLength(64)),
+                );
+                arms.push(ArmSpec {
+                    config: ServingConfig::new(kind, instances as u32),
+                    trace: spec.generate(&SimRng::new(opts.seed)),
+                    rate,
+                    cv: 1.0,
+                });
+            }
         }
     }
     let results = run_arms(arms);
 
     let mut table = Table::new(
-        "Figure 16: 64 instances, 64-token inputs/outputs",
+        "Figure 16: 64/128/256 instances, 64-token inputs/outputs",
         &[
+            "fleet",
             "rate",
             "scheduler",
             "per-token mean/p99",
@@ -50,6 +66,7 @@ fn main() {
     );
     for (arm, out) in &results {
         table.row(&[
+            arm.trace.trim_end_matches("x64").to_string(),
             format!("{}", arm.rate),
             arm.scheduler.clone(),
             format!(

@@ -13,18 +13,22 @@
 #![warn(missing_docs)]
 
 mod central;
+pub mod index;
 mod llumlet;
 pub mod policy;
 mod serving;
+pub mod store;
 pub mod virtual_usage;
 
 pub use central::{CentralScheduler, CentralSchedulerModel};
+pub use index::{DispatchIndex, IndexPolicy};
 pub use llumlet::Llumlet;
 pub use policy::{
     pair_migrations, AutoScaleConfig, AutoScaler, Dispatcher, LoadReport, MigrationThresholds,
     ScaleAction, SchedulerKind, VictimPolicy,
 };
 pub use serving::{run_serving, FailureSpec, ServingConfig, ServingOutput, ServingSim};
+pub use store::InstanceStore;
 pub use virtual_usage::{
     engine_freeness, freeness, infaas_equivalent_freeness, infaas_memory_load, virtual_usage,
     HeadroomConfig, InstanceView, QueuingRule, RequestView,

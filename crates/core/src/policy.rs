@@ -147,6 +147,34 @@ impl Dispatcher {
             }
         }
     }
+
+    /// Like [`Dispatcher::dispatch_for`], but selecting from the incremental
+    /// [`DispatchIndex`](crate::index::DispatchIndex) instead of scanning a
+    /// report slice — same decisions, same tie-breaks, O(log N). The
+    /// round-robin counter advances exactly when the slice path would have
+    /// advanced it (some instance is eligible).
+    pub fn dispatch_indexed(
+        &mut self,
+        kind: SchedulerKind,
+        index: &crate::index::DispatchIndex,
+        high_priority: bool,
+    ) -> Option<InstanceId> {
+        let len = index.serving_len();
+        if len == 0 {
+            return None;
+        }
+        match kind {
+            SchedulerKind::RoundRobin => {
+                let idx = (self.rr_counter as usize) % len;
+                self.rr_counter += 1;
+                index.serving_at(idx)
+            }
+            SchedulerKind::InfaasPlusPlus => index.least_memory_load(),
+            SchedulerKind::LlumnixBase | SchedulerKind::Llumnix | SchedulerKind::Centralized => {
+                index.freest(high_priority)
+            }
+        }
+    }
 }
 
 /// Which running request a migration-source llumlet moves out first.

@@ -18,7 +18,7 @@ use llumnix_engine::{
     EngineConfig, EngineEvent, InstanceEngine, InstanceId, PriorityPair, RequestId, RequestMeta,
     SeqState,
 };
-use llumnix_metrics::{RecordPriority, RequestRecord, Summary, TimeSeries};
+use llumnix_metrics::{RecordPriority, RequestRecord, SummaryAccumulator, TimeSeries};
 use llumnix_migration::{
     AbortReason, CoordinatorStats, MigrationConfig, MigrationCoordinator, MigrationId,
     StageOutcome, StartOutcome,
@@ -28,12 +28,14 @@ use llumnix_sim::{EventQueue, SimDuration, SimTime};
 use llumnix_workload::Trace;
 
 use crate::central::{CentralScheduler, CentralSchedulerModel};
+use crate::index::{DispatchIndex, IndexPolicy};
 use crate::llumlet::Llumlet;
 use crate::policy::{
-    pair_migrations, AutoScaleConfig, AutoScaler, Dispatcher, LoadReport, MigrationThresholds,
-    ScaleAction, SchedulerKind, VictimPolicy,
+    AutoScaleConfig, AutoScaler, Dispatcher, MigrationThresholds, ScaleAction, SchedulerKind,
+    VictimPolicy,
 };
-use crate::virtual_usage::HeadroomConfig;
+use crate::store::InstanceStore;
+use crate::virtual_usage::{HeadroomConfig, QueuingRule};
 
 /// Injected failures (§5's fault-tolerance behaviours).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,10 +157,10 @@ pub struct ServingOutput {
     /// Migration counters.
     pub migration_stats: CoordinatorStats,
     /// Scheduling-stall summary per engine step, in seconds (Figure 16).
-    pub stalls: Summary,
+    pub stalls: llumnix_metrics::Summary,
     /// Batch sizes of decode steps that contained a high-execution-priority
     /// request (diagnostic for the §6.4 isolation mechanism).
-    pub high_step_batches: Summary,
+    pub high_step_batches: llumnix_metrics::Summary,
     /// When the last request finished.
     pub makespan: SimTime,
     /// Simulation events processed by the event loop (throughput metric).
@@ -186,8 +188,19 @@ pub struct ServingSim {
     high_ids: HashSet<u64>,
     queue: EventQueue<Event>,
     now: SimTime,
-    llumlets: HashMap<InstanceId, Llumlet>,
-    order: Vec<InstanceId>,
+    store: InstanceStore,
+    index: DispatchIndex,
+    /// Effective headroom config for this run (constant: derived from the
+    /// scheduler kind and config only).
+    headroom: HeadroomConfig,
+    /// Under the `Gradual` queuing rule reports drift with time alone, so
+    /// every refresh must revisit the whole fleet instead of the dirty set.
+    refresh_all: bool,
+    /// `(serving_from, id)` for instances still in their startup delay: the
+    /// starting → serving transition happens by time passing, not by an
+    /// engine event, so the refresh re-checks them when their deadline hits.
+    starting_queue: Vec<(SimTime, InstanceId)>,
+    dirty_scratch: Vec<InstanceId>,
     next_instance: u32,
     dispatcher: Dispatcher,
     bypass_dispatcher: Dispatcher,
@@ -199,7 +212,7 @@ pub struct ServingSim {
     undispatched: VecDeque<usize>,
     records: Vec<RequestRecord>,
     aborted: u64,
-    stall_samples: Vec<f64>,
+    stalls_acc: SummaryAccumulator,
     fragmentation: TimeSeries,
     free_blocks: TimeSeries,
     hol_satisfiable: TimeSeries,
@@ -207,7 +220,7 @@ pub struct ServingSim {
     instances_ts: TimeSeries,
     arrivals_done: bool,
     makespan: SimTime,
-    high_step_batches: Vec<f64>,
+    high_batch_acc: SummaryAccumulator,
     order_scratch: Vec<InstanceId>,
     events_processed: u64,
 }
@@ -222,6 +235,12 @@ impl ServingSim {
             .filter(|r| r.high_priority)
             .map(|r| r.id)
             .collect();
+        let headroom = effective_headroom(&config);
+        let refresh_all = matches!(headroom.queuing_rule, QueuingRule::Gradual { .. });
+        let index = DispatchIndex::new(IndexPolicy::for_run(
+            config.scheduler,
+            config.autoscale.is_some(),
+        ));
         let mut sim = ServingSim {
             coordinator: MigrationCoordinator::new(config.migration.clone()),
             central: CentralScheduler::new(config.central),
@@ -231,8 +250,12 @@ impl ServingSim {
             high_ids,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
-            llumlets: HashMap::new(),
-            order: Vec::new(),
+            store: InstanceStore::new(),
+            index,
+            headroom,
+            refresh_all,
+            starting_queue: Vec::new(),
+            dirty_scratch: Vec::new(),
             next_instance: 0,
             dispatcher: Dispatcher::new(),
             bypass_dispatcher: Dispatcher::new(),
@@ -241,7 +264,7 @@ impl ServingSim {
             undispatched: VecDeque::new(),
             records: Vec::new(),
             aborted: 0,
-            stall_samples: Vec::new(),
+            stalls_acc: SummaryAccumulator::new(),
             fragmentation: TimeSeries::new("fragmentation"),
             free_blocks: TimeSeries::new("free_blocks"),
             hol_satisfiable: TimeSeries::new("hol_satisfiable"),
@@ -249,7 +272,7 @@ impl ServingSim {
             instances_ts: TimeSeries::new("instances"),
             arrivals_done: false,
             makespan: SimTime::ZERO,
-            high_step_batches: Vec::new(),
+            high_batch_acc: SummaryAccumulator::new(),
             order_scratch: Vec::new(),
             events_processed: 0,
         };
@@ -305,8 +328,8 @@ impl ServingSim {
             instances: self.instances_ts,
             avg_instances,
             migration_stats: *self.coordinator.stats(),
-            stalls: Summary::from_samples(self.stall_samples),
-            high_step_batches: Summary::from_samples(self.high_step_batches),
+            stalls: self.stalls_acc.finish(),
+            high_step_batches: self.high_batch_acc.finish(),
             makespan: self.makespan,
             events_processed: self.events_processed,
         }
@@ -345,20 +368,45 @@ impl ServingSim {
         self.dispatch(index);
     }
 
-    fn dispatch(&mut self, index: usize) {
-        let reports = self.reports();
-        let r = self.trace.requests[index];
-        let high = self.config.scheduler.uses_priorities() && r.high_priority;
+    /// Selects a dispatch target off the incremental index (after refreshing
+    /// it), falling back to scheduler-bypass round-robin while the global
+    /// scheduler is down (§5). Debug builds cross-check the index's choice
+    /// against a from-scratch rescan of fresh reports.
+    fn dispatch_target(&mut self, high: bool) -> Option<InstanceId> {
+        self.refresh_fleet();
+        #[cfg(debug_assertions)]
+        let expected = {
+            // Clones so the comparison dispatch does not advance the real
+            // round-robin counters.
+            let reports = self.reports();
+            if self.global_down {
+                self.bypass_dispatcher
+                    .clone()
+                    .dispatch(SchedulerKind::RoundRobin, &reports)
+            } else {
+                self.dispatcher
+                    .clone()
+                    .dispatch_for(self.config.scheduler, &reports, high)
+            }
+        };
         let target = if self.global_down {
             // Scheduler-bypass mode (§5): frontends use a simple round-robin
             // rule directly.
             self.bypass_dispatcher
-                .dispatch(SchedulerKind::RoundRobin, &reports)
+                .dispatch_indexed(SchedulerKind::RoundRobin, &self.index, false)
         } else {
             self.dispatcher
-                .dispatch_for(self.config.scheduler, &reports, high)
+                .dispatch_indexed(self.config.scheduler, &self.index, high)
         };
-        let Some(target) = target else {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(target, expected, "index diverged from rescan");
+        target
+    }
+
+    fn dispatch(&mut self, index: usize) {
+        let r = self.trace.requests[index];
+        let high = self.config.scheduler.uses_priorities() && r.high_priority;
+        let Some(target) = self.dispatch_target(high) else {
             self.undispatched.push_back(index);
             return;
         };
@@ -374,13 +422,13 @@ impl ServingSim {
             priority,
             arrival: r.arrival,
         };
-        let llumlet = self.llumlets.get_mut(&target).expect("dispatch target");
+        let llumlet = self.store.get_mut(target).expect("dispatch target");
         llumlet.engine.add_request(meta, self.now);
         self.kick(target);
     }
 
     fn on_step_done(&mut self, id: InstanceId) {
-        let Some(llumlet) = self.llumlets.get_mut(&id) else {
+        let Some(llumlet) = self.store.get_mut(id) else {
             return; // Instance failed mid-step.
         };
         let events = llumlet.engine.complete_step(self.now);
@@ -400,7 +448,7 @@ impl ServingSim {
                     self.abort_migration_of(req, AbortReason::RequestPreempted);
                 }
                 EngineEvent::Drained(req) => {
-                    let llumlet = self.llumlets.get_mut(&id).expect("drain source alive");
+                    let llumlet = self.store.get_mut(id).expect("drain source alive");
                     match self
                         .coordinator
                         .on_drained(req, &mut llumlet.engine, self.now)
@@ -426,7 +474,7 @@ impl ServingSim {
         let Some((src, dst)) = self.coordinator.endpoints(mid) else {
             return; // Aborted earlier; stale event.
         };
-        let Some((se, de)) = two_engines(&mut self.llumlets, src, dst) else {
+        let Some((se, de)) = self.store.two_engines(src, dst) else {
             return;
         };
         let outcome = self.coordinator.on_stage_done(mid, se, de, self.now);
@@ -451,7 +499,7 @@ impl ServingSim {
         let Some((src, dst)) = self.coordinator.endpoints(mid) else {
             return;
         };
-        let Some((se, de)) = two_engines(&mut self.llumlets, src, dst) else {
+        let Some((se, de)) = self.store.two_engines(src, dst) else {
             return;
         };
         let committed = self.coordinator.on_commit(mid, se, de, self.now);
@@ -466,10 +514,15 @@ impl ServingSim {
 
     fn on_migration_tick(&mut self) {
         if !self.global_down {
-            let reports = self.reports();
-            self.pairs = pair_migrations(&reports, self.config.migration_thresholds)
-                .into_iter()
-                .collect();
+            self.refresh_fleet();
+            let pairs = self.index.pair(self.config.migration_thresholds);
+            #[cfg(debug_assertions)]
+            debug_assert_eq!(
+                pairs,
+                crate::policy::pair_migrations(&self.reports(), self.config.migration_thresholds),
+                "index pairing diverged from rescan"
+            );
+            self.pairs = pairs.into_iter().collect();
             let sources: Vec<InstanceId> = self.pairs.keys().copied().collect();
             for src in sources {
                 self.continue_pair(src);
@@ -492,7 +545,7 @@ impl ServingSim {
         if !self.coordinator.migrating_from(src).is_empty() {
             return;
         }
-        let Some(llumlet) = self.llumlets.get(&src) else {
+        let Some(llumlet) = self.store.get(src) else {
             return;
         };
         let coordinator = &self.coordinator;
@@ -501,7 +554,7 @@ impl ServingSim {
         }) else {
             return;
         };
-        let Some((se, de)) = two_engines(&mut self.llumlets, src, dst) else {
+        let Some((se, de)) = self.store.two_engines(src, dst) else {
             return;
         };
         match self.coordinator.start(victim, se, de, self.now) {
@@ -522,7 +575,7 @@ impl ServingSim {
         // fresh clone per sample.
         let mut snapshot = std::mem::take(&mut self.order_scratch);
         snapshot.clear();
-        snapshot.extend_from_slice(&self.order);
+        snapshot.extend_from_slice(self.store.order());
         for &id in &snapshot {
             self.kick(id);
         }
@@ -553,21 +606,16 @@ impl ServingSim {
     }
 
     fn fail_instance(&mut self, id: InstanceId) {
-        if !self.llumlets.contains_key(&id) {
+        if !self.store.contains(id) {
             return;
         }
         // Abort migrations touching the failed instance first, handing the
         // coordinator the surviving peers.
-        let mut peers: HashMap<InstanceId, &mut InstanceEngine> = HashMap::new();
-        for (iid, l) in self.llumlets.iter_mut() {
-            if *iid != id {
-                peers.insert(*iid, &mut l.engine);
-            }
-        }
+        let mut peers = self.store.peers_mut(id);
         let aborted_migrations = self.coordinator.abort_for_failed_instance(id, &mut peers);
         drop(peers);
-        let llumlet = self.llumlets.remove(&id).expect("checked above");
-        self.order.retain(|&i| i != id);
+        let llumlet = self.store.remove(id).expect("checked above");
+        self.index.remove(id);
         self.pairs.remove(&id);
         self.pairs.retain(|_, d| *d != id);
         // Requests resident on or queued at the failed instance abort (§5);
@@ -586,34 +634,67 @@ impl ServingSim {
         self.next_instance += 1;
         let engine = InstanceEngine::new(id, self.config.spec.clone(), self.config.engine.clone());
         let starting_until = startup.map(|d| now + d);
-        self.llumlets
+        // `insert` marks the instance dirty, so the next refresh indexes it.
+        self.store
             .insert(id, Llumlet::new(engine, now, starting_until));
-        self.order.push(id);
         self.sample_instances();
         id
     }
 
-    fn reports(&self) -> Vec<LoadReport> {
-        let headroom = self.effective_headroom();
-        self.order
-            .iter()
-            .map(|id| self.llumlets[id].report(self.now, &headroom))
-            .collect()
+    /// Brings the dispatch index up to date with every instance that could
+    /// have changed since the last decision: the store's dirty set (every
+    /// mutable access marks), plus starting instances whose startup deadline
+    /// passed (a time-driven transition no engine event covers). Reports are
+    /// version-cached per llumlet, so over-marking costs a cache probe, not
+    /// a recompute.
+    fn refresh_fleet(&mut self) {
+        let mut i = 0;
+        while i < self.starting_queue.len() {
+            if self.starting_queue[i].0 <= self.now {
+                let (_, id) = self.starting_queue.swap_remove(i);
+                let _ = self.store.get_mut(id); // marks dirty if still live
+            } else {
+                i += 1;
+            }
+        }
+        if self.refresh_all {
+            for i in 0..self.store.order().len() {
+                let id = self.store.order()[i];
+                let _ = self.store.get_mut(id);
+            }
+        }
+        let mut dirty = std::mem::take(&mut self.dirty_scratch);
+        self.store.take_dirty(&mut dirty);
+        for &id in &dirty {
+            let Some(l) = self.store.get(id) else {
+                // Removed after being marked; drop any stale entry.
+                self.index.remove(id);
+                continue;
+            };
+            let report = l.report(self.now, &self.headroom);
+            if self.index.update(&report).became_starting {
+                let until = l.starting_until.expect("starting implies deadline");
+                self.starting_queue.push((until, id));
+            }
+        }
+        self.dirty_scratch = dirty;
+        self.index.sync_order(self.store.order());
     }
 
-    fn effective_headroom(&self) -> HeadroomConfig {
-        if self.config.scheduler.uses_priorities() {
-            self.config.headroom
-        } else {
-            // Priority headroom off, but the queuing-demand rule (a
-            // priority-independent policy knob) stays in force.
-            HeadroomConfig::DISABLED.with_queuing_rule(self.config.headroom.queuing_rule)
-        }
+    /// From-scratch load reports in fleet order — the rescan the index
+    /// replaces, kept as the debug-build reference for the equivalence
+    /// asserts.
+    #[cfg(debug_assertions)]
+    fn reports(&self) -> Vec<crate::policy::LoadReport> {
+        self.store
+            .iter()
+            .map(|(_, l)| l.report(self.now, &self.headroom))
+            .collect()
     }
 
     /// Polls an instance for its next step and schedules its completion.
     fn kick(&mut self, id: InstanceId) {
-        let Some(llumlet) = self.llumlets.get_mut(&id) else {
+        let Some(llumlet) = self.store.get_mut(id) else {
             return;
         };
         if llumlet.is_starting(self.now) {
@@ -627,23 +708,23 @@ impl ServingSim {
                     })
                 });
                 if has_high {
-                    self.high_step_batches.push(ids.len() as f64);
+                    self.high_batch_acc.observe(ids.len() as f64);
                 }
             }
             let mut finish = plan.finish_at();
             if self.config.scheduler.has_central_stalls() {
                 let tracked = llumlet.engine.batch_size() + llumlet.engine.waiting_len();
                 let stall = self.central.request_decision(self.now, tracked);
-                self.stall_samples.push(stall.as_secs_f64());
+                self.stalls_acc.observe(stall.as_secs_f64());
                 finish += stall;
             } else {
-                self.stall_samples.push(0.0);
+                self.stalls_acc.observe(0.0);
             }
             self.queue.push(finish, Event::StepDone(id));
         }
         let pending = self
-            .llumlets
-            .get_mut(&id)
+            .store
+            .get_mut(id)
             .expect("still present")
             .engine
             .take_pending_events();
@@ -654,7 +735,7 @@ impl ServingSim {
     }
 
     fn collect_finished(&mut self, id: InstanceId) {
-        let Some(llumlet) = self.llumlets.get_mut(&id) else {
+        let Some(llumlet) = self.store.get_mut(id) else {
             return;
         };
         let finished = llumlet.engine.take_finished();
@@ -698,7 +779,7 @@ impl ServingSim {
         let Some((mid, src, dst)) = self.coordinator.lookup_by_request(req) else {
             return;
         };
-        if let Some((se, de)) = two_engines(&mut self.llumlets, src, dst) {
+        if let Some((se, de)) = self.store.two_engines(src, dst) {
             self.coordinator.abort(mid, se, de, reason);
             self.kick(dst);
         }
@@ -707,26 +788,25 @@ impl ServingSim {
     // ---- sampling & scaling -------------------------------------------------
 
     fn sample_instances(&mut self) {
-        self.instances_ts.push(self.now, self.llumlets.len() as f64);
+        self.instances_ts.push(self.now, self.store.len() as f64);
     }
 
     fn sample_timelines(&mut self) {
         let total_free: u64 = self
-            .order
+            .store
             .iter()
-            .map(|id| self.llumlets[id].engine.free_blocks() as u64)
+            .map(|(_, l)| l.engine.free_blocks() as u64)
             .sum();
         let total_blocks: u64 = self
-            .order
+            .store
             .iter()
-            .map(|id| self.llumlets[id].engine.total_blocks() as u64)
+            .map(|(_, l)| l.engine.total_blocks() as u64)
             .sum();
         let mut hol: Vec<u64> = self
-            .order
+            .store
             .iter()
-            .filter_map(|id| {
-                self.llumlets[id]
-                    .engine
+            .filter_map(|(_, l)| {
+                l.engine
                     .head_of_line_demand()
                     .map(|(_, blocks)| blocks as u64)
             })
@@ -751,11 +831,7 @@ impl ServingSim {
         } else {
             fragmented as f64 / total_blocks as f64
         };
-        let queued: usize = self
-            .order
-            .iter()
-            .map(|id| self.llumlets[id].engine.waiting_len())
-            .sum();
+        let queued: usize = self.store.iter().map(|(_, l)| l.engine.waiting_len()).sum();
         self.fragmentation.push(self.now, frag_prop);
         self.free_blocks.push(self.now, total_free as f64);
         self.hol_satisfiable.push(self.now, satisfiable as f64);
@@ -767,12 +843,12 @@ impl ServingSim {
         if self.scaler.is_none() || self.global_down {
             return;
         }
-        let headroom = self.effective_headroom();
+        let headroom = self.headroom;
         let scaler = self.scaler.as_mut().expect("checked above");
         let serving: Vec<&Llumlet> = self
-            .order
+            .store
             .iter()
-            .map(|id| &self.llumlets[id])
+            .map(|(_, l)| l)
             .filter(|l| !l.terminating && !l.is_starting(self.now))
             .collect();
         if serving.is_empty() {
@@ -796,8 +872,8 @@ impl ServingSim {
             / serving.len() as f64;
         // Alive bounds scale-up (all paid capacity, draining included);
         // active bounds scale-down (capacity not already being drained).
-        let alive = self.llumlets.len() as u32;
-        let active = self.llumlets.values().filter(|l| !l.terminating).count() as u32;
+        let alive = self.store.len() as u32;
+        let active = self.store.iter().filter(|(_, l)| !l.terminating).count() as u32;
         match scaler.observe_counts(avg, alive, active, self.now) {
             Some(ScaleAction::Up) => {
                 let delay = scaler.config().startup_delay;
@@ -810,19 +886,22 @@ impl ServingSim {
 
     fn begin_termination(&mut self) {
         // Terminate the serving instance with the fewest running requests.
-        let candidate = self
-            .order
-            .iter()
-            .filter(|id| {
-                let l = &self.llumlets[id];
-                !l.terminating && !l.is_starting(self.now)
-            })
-            .min_by_key(|id| (self.llumlets[id].engine.batch_size(), **id))
-            .copied();
+        self.refresh_fleet();
+        let candidate = self.index.drain_victim();
+        #[cfg(debug_assertions)]
+        {
+            let expected = self
+                .store
+                .iter()
+                .filter(|(_, l)| !l.terminating && !l.is_starting(self.now))
+                .min_by_key(|&(id, l)| (l.engine.batch_size(), id))
+                .map(|(id, _)| id);
+            debug_assert_eq!(candidate, expected, "index victim diverged from rescan");
+        }
         let Some(id) = candidate else {
             return;
         };
-        let llumlet = self.llumlets.get_mut(&id).expect("candidate");
+        let llumlet = self.store.get_mut(id).expect("candidate");
         llumlet.terminating = true;
         // Re-dispatch its queued requests; migration handles the running ones
         // (the fake ∞ request makes it a permanent migration source).
@@ -839,12 +918,14 @@ impl ServingSim {
         self.maybe_finish_termination(id);
     }
 
+    /// Re-dispatches a request aborted off a terminating instance through
+    /// the sim's main dispatcher — same round-robin state, same
+    /// priority-class routing rule as a fresh arrival of that request.
     fn redispatch(&mut self, meta: RequestMeta) {
-        let reports = self.reports();
-        let mut d = Dispatcher::new();
-        if let Some(target) = d.dispatch(self.config.scheduler, &reports) {
-            self.llumlets
-                .get_mut(&target)
+        let high = self.config.scheduler.uses_priorities() && self.high_ids.contains(&meta.id.0);
+        if let Some(target) = self.dispatch_target(high) {
+            self.store
+                .get_mut(target)
                 .expect("target")
                 .engine
                 .add_request(meta, self.now);
@@ -858,7 +939,7 @@ impl ServingSim {
     /// Removes a terminating instance once it is fully drained and no
     /// migration still touches it.
     fn maybe_finish_termination(&mut self, id: InstanceId) {
-        let Some(llumlet) = self.llumlets.get(&id) else {
+        let Some(llumlet) = self.store.get(id) else {
             return;
         };
         if !llumlet.terminating || !llumlet.is_drained() || llumlet.engine.step_in_flight() {
@@ -870,11 +951,11 @@ impl ServingSim {
             return;
         }
         // Never drop the last instance.
-        if self.llumlets.len() <= 1 {
+        if self.store.len() <= 1 {
             return;
         }
-        self.llumlets.remove(&id);
-        self.order.retain(|&i| i != id);
+        self.store.remove(id);
+        self.index.remove(id);
         self.pairs.remove(&id);
         self.pairs.retain(|_, d| *d != id);
         self.sample_instances();
@@ -891,30 +972,27 @@ impl ServingSim {
         self.arrivals_done
             && self.undispatched.is_empty()
             && self.coordinator.active_count() == 0
-            && self.order.iter().all(|id| {
-                let e = &self.llumlets[id].engine;
+            && self.store.iter().all(|(_, l)| {
+                let e = &l.engine;
                 !e.has_work() && !e.step_in_flight()
             })
+    }
+}
+
+/// The headroom config a run actually schedules with: the configured one for
+/// priority-aware schedulers, otherwise priority headroom off with the
+/// (priority-independent) queuing-demand rule preserved. Constant per run.
+fn effective_headroom(config: &ServingConfig) -> HeadroomConfig {
+    if config.scheduler.uses_priorities() {
+        config.headroom
+    } else {
+        HeadroomConfig::DISABLED.with_queuing_rule(config.headroom.queuing_rule)
     }
 }
 
 /// Convenience: builds and runs a simulation.
 pub fn run_serving(config: ServingConfig, trace: Trace) -> ServingOutput {
     ServingSim::new(config, trace).run()
-}
-
-/// Disjoint mutable access to the engines of two distinct llumlets.
-fn two_engines(
-    map: &mut HashMap<InstanceId, Llumlet>,
-    a: InstanceId,
-    b: InstanceId,
-) -> Option<(&mut InstanceEngine, &mut InstanceEngine)> {
-    debug_assert_ne!(a, b, "migration endpoints must differ");
-    let [x, y] = map.get_disjoint_mut([&a, &b]);
-    match (x, y) {
-        (Some(x), Some(y)) => Some((&mut x.engine, &mut y.engine)),
-        _ => None,
-    }
 }
 
 #[cfg(test)]
@@ -1080,6 +1158,108 @@ mod tests {
         let out = run_serving(tiny_config(SchedulerKind::Llumnix, 2), trace);
         assert!(out.records.is_empty());
         assert_eq!(out.aborted, 0);
+    }
+
+    #[test]
+    fn redispatch_continues_main_round_robin_cycle() {
+        // Regression: `redispatch` used to build a throwaway `Dispatcher`
+        // (round-robin counter reset to 0), so a re-dispatched request
+        // always landed on the first instance instead of continuing the
+        // cycle.
+        let trace = tiny_trace(3, 0.1, 10);
+        let mut sim = ServingSim::new(tiny_config(SchedulerKind::RoundRobin, 3), trace);
+        sim.dispatch(0); // rr counter 0 → instance 0
+        let meta = RequestMeta {
+            id: RequestId(900),
+            input_len: 16,
+            output_len: 4,
+            priority: PriorityPair::NORMAL,
+            arrival: SimTime::ZERO,
+        };
+        sim.redispatch(meta);
+        assert_eq!(
+            sim.store
+                .get(InstanceId(1))
+                .expect("live")
+                .engine
+                .tracked_requests(),
+            1,
+            "redispatch must continue the main dispatcher's round-robin cycle"
+        );
+        assert_eq!(
+            sim.store
+                .get(InstanceId(0))
+                .expect("live")
+                .engine
+                .tracked_requests(),
+            1,
+            "instance 0 holds only the original dispatch"
+        );
+    }
+
+    #[test]
+    fn redispatch_keeps_high_priority_routing() {
+        // Regression: `redispatch` used to call plain `dispatch`, losing the
+        // high-priority routing rule (headroom-free freeness). Instance 0
+        // hosts a resident high-priority request, so its *virtual* freeness
+        // is depressed by the priority headroom while its physical freeness
+        // is the best in the fleet; a high-priority request must go there.
+        let spec = presets::by_name("S-S", 1, Arrivals::poisson(1.0))
+            .expect("preset")
+            .with_max_total_tokens(500)
+            .with_high_priority_fraction(1.0);
+        let trace = spec.generate(&SimRng::new(11));
+        assert!(trace.requests[0].high_priority);
+        let high_id = trace.requests[0].id;
+        let mut sim = ServingSim::new(tiny_config(SchedulerKind::Llumnix, 2), trace);
+        let make_resident = |sim: &mut ServingSim, inst: u32, id: u64, input: u32, pr| {
+            let e = &mut sim.store.get_mut(InstanceId(inst)).expect("live").engine;
+            e.add_request(
+                RequestMeta {
+                    id: RequestId(id),
+                    input_len: input,
+                    output_len: 50,
+                    priority: pr,
+                    arrival: SimTime::ZERO,
+                },
+                SimTime::ZERO,
+            );
+            let p = e.poll_step(SimTime::ZERO).expect("prefill");
+            e.complete_step(p.finish_at());
+        };
+        make_resident(&mut sim, 0, 901, 100, PriorityPair::HIGH);
+        make_resident(&mut sim, 1, 902, 300, PriorityPair::NORMAL);
+        // Sanity: the orderings disagree, so the two rules pick differently.
+        sim.refresh_fleet();
+        let normal_pick = sim.index.freest(false);
+        let high_pick = sim.index.freest(true);
+        assert_eq!(
+            normal_pick,
+            Some(InstanceId(1)),
+            "virtual freeness avoids headroom"
+        );
+        assert_eq!(
+            high_pick,
+            Some(InstanceId(0)),
+            "physical freeness ignores it"
+        );
+        let meta = RequestMeta {
+            id: RequestId(high_id),
+            input_len: 32,
+            output_len: 8,
+            priority: PriorityPair::HIGH,
+            arrival: SimTime::ZERO,
+        };
+        sim.redispatch(meta);
+        assert_eq!(
+            sim.store
+                .get(InstanceId(0))
+                .expect("live")
+                .engine
+                .tracked_requests(),
+            2,
+            "high-priority redispatch must use the headroom-free rule"
+        );
     }
 
     #[test]

@@ -3,14 +3,23 @@
 //! The llumlet memoizes its load report behind the engine's version counter;
 //! these tests drive a llumlet through arbitrary event sequences and check
 //! the cached [`Llumlet::report`] never drifts from the from-scratch
-//! [`Llumlet::report_fresh`].
+//! [`Llumlet::report_fresh`]. On top of that cache sits the incremental
+//! dispatch index; the fleet-level test below drives a whole store + index
+//! through arbitrary event sequences and checks every selection path
+//! (dispatch for both priority classes, round-robin, INFaaS++, migration
+//! pairing, termination victim) against a from-scratch rescan of fresh
+//! reports.
 
-use llumnix_core::{HeadroomConfig, Llumlet, QueuingRule};
+use llumnix_core::policy::{pair_migrations, LoadReport};
+use llumnix_core::{
+    DispatchIndex, Dispatcher, HeadroomConfig, IndexPolicy, InstanceStore, Llumlet,
+    MigrationThresholds, QueuingRule, SchedulerKind,
+};
 use llumnix_engine::{
     EngineConfig, InstanceEngine, InstanceId, PriorityPair, RequestId, RequestMeta,
 };
 use llumnix_model::InstanceSpec;
-use llumnix_sim::SimTime;
+use llumnix_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 /// A random llumlet-visible event.
@@ -98,5 +107,255 @@ proptest! {
                 prop_assert_eq!(llumlet.report(now, headroom), fresh, "hit path, op {:?}", op);
             }
         }
+    }
+}
+
+/// A random fleet-visible event.
+#[derive(Debug, Clone, Copy)]
+enum FleetOp {
+    /// Admit a request on the `i`-th live instance.
+    AddTo(u8, u32, u32, bool),
+    /// Run one engine step on the `i`-th live instance.
+    StepOn(u8),
+    /// Abort request `id` on the `i`-th live instance.
+    AbortOn(u8, u64),
+    /// Flip the terminating flag on the `i`-th live instance.
+    SetTerminating(u8, bool),
+    /// Launch a new instance (startup delay in millis, 0 = immediate).
+    Launch(u16),
+    /// Remove the `i`-th live instance (instance-failure path).
+    Remove(u8),
+    /// Advance time.
+    AdvanceMillis(u16),
+}
+
+fn fleet_op() -> impl Strategy<Value = FleetOp> {
+    // The vendored `prop_oneof!` picks arms uniformly; repeat the admit and
+    // step arms to bias runs toward load changes over membership churn.
+    fn add() -> impl Strategy<Value = FleetOp> {
+        (any::<u8>(), 1u32..300, 1u32..40, any::<bool>())
+            .prop_map(|(i, inp, out, h)| FleetOp::AddTo(i, inp, out, h))
+    }
+    fn step() -> impl Strategy<Value = FleetOp> {
+        any::<u8>().prop_map(FleetOp::StepOn)
+    }
+    prop_oneof![
+        add(),
+        add(),
+        add(),
+        step(),
+        step(),
+        step(),
+        (any::<u8>(), 0u64..40).prop_map(|(i, r)| FleetOp::AbortOn(i, r)),
+        (any::<u8>(), any::<bool>()).prop_map(|(i, t)| FleetOp::SetTerminating(i, t)),
+        (0u16..3_000).prop_map(FleetOp::Launch),
+        any::<u8>().prop_map(FleetOp::Remove),
+        (1u16..5_000).prop_map(FleetOp::AdvanceMillis),
+    ]
+}
+
+/// The serving simulator's refresh recipe, replicated over a bare store +
+/// index: time-driven starting transitions, then the dirty set (or the whole
+/// fleet under a time-sensitive queuing rule), through the *cached* report.
+fn refresh(
+    store: &mut InstanceStore,
+    index: &mut DispatchIndex,
+    starting_queue: &mut Vec<(SimTime, InstanceId)>,
+    now: SimTime,
+    headroom: &HeadroomConfig,
+    refresh_all: bool,
+) {
+    let mut i = 0;
+    while i < starting_queue.len() {
+        if starting_queue[i].0 <= now {
+            let (_, id) = starting_queue.swap_remove(i);
+            let _ = store.get_mut(id);
+        } else {
+            i += 1;
+        }
+    }
+    if refresh_all {
+        for i in 0..store.order().len() {
+            let id = store.order()[i];
+            let _ = store.get_mut(id);
+        }
+    }
+    let mut dirty = Vec::new();
+    store.take_dirty(&mut dirty);
+    for &id in &dirty {
+        let Some(l) = store.get(id) else {
+            index.remove(id);
+            continue;
+        };
+        let report = l.report(now, headroom);
+        if index.update(&report).became_starting {
+            starting_queue.push((l.starting_until.expect("starting"), id));
+        }
+    }
+    index.sync_order(store.order());
+}
+
+fn new_llumlet(id: u32, now: SimTime, starting_until: Option<SimTime>) -> Llumlet {
+    Llumlet::new(
+        InstanceEngine::new(
+            InstanceId(id),
+            InstanceSpec::tiny_for_tests(2048),
+            EngineConfig::default(),
+        ),
+        now,
+        starting_until,
+    )
+}
+
+fn run_fleet_equivalence(
+    ops: &[FleetOp],
+    headroom: HeadroomConfig,
+    refresh_all: bool,
+) -> Result<(), TestCaseError> {
+    let mut store = InstanceStore::new();
+    let mut index = DispatchIndex::new(IndexPolicy::all());
+    let mut starting_queue: Vec<(SimTime, InstanceId)> = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut next_instance = 3u32;
+    let mut next_req = 0u64;
+    // Round-robin dispatchers advanced in lockstep: both consume one counter
+    // step per check round iff an instance is eligible.
+    let mut rr_scan = Dispatcher::new();
+    let mut rr_index = Dispatcher::new();
+    for i in 0..3 {
+        store.insert(InstanceId(i), new_llumlet(i, now, None));
+    }
+    let pick = |store: &InstanceStore, i: u8| -> Option<InstanceId> {
+        if store.is_empty() {
+            None
+        } else {
+            Some(store.order()[i as usize % store.len()])
+        }
+    };
+    for &op in ops {
+        match op {
+            FleetOp::AddTo(i, input, output, high) => {
+                if let Some(id) = pick(&store, i) {
+                    let meta = RequestMeta {
+                        id: RequestId(next_req),
+                        input_len: input,
+                        output_len: output,
+                        priority: if high {
+                            PriorityPair::HIGH
+                        } else {
+                            PriorityPair::NORMAL
+                        },
+                        arrival: now,
+                    };
+                    next_req += 1;
+                    store
+                        .get_mut(id)
+                        .expect("live")
+                        .engine
+                        .add_request(meta, now);
+                }
+            }
+            FleetOp::StepOn(i) => {
+                if let Some(id) = pick(&store, i) {
+                    let e = &mut store.get_mut(id).expect("live").engine;
+                    if let Some(plan) = e.poll_step(now) {
+                        now = plan.finish_at();
+                        e.complete_step(now);
+                    }
+                }
+            }
+            FleetOp::AbortOn(i, r) => {
+                if let Some(id) = pick(&store, i) {
+                    let _ = store
+                        .get_mut(id)
+                        .expect("live")
+                        .engine
+                        .abort_request(RequestId(r));
+                }
+            }
+            FleetOp::SetTerminating(i, t) => {
+                if let Some(id) = pick(&store, i) {
+                    store.get_mut(id).expect("live").terminating = t;
+                }
+            }
+            FleetOp::Launch(delay_ms) => {
+                let id = InstanceId(next_instance);
+                next_instance += 1;
+                let until = (delay_ms > 0).then(|| now + SimDuration::from_millis(delay_ms as u64));
+                store.insert(id, new_llumlet(id.0, now, until));
+            }
+            FleetOp::Remove(i) => {
+                if store.len() > 1 {
+                    if let Some(id) = pick(&store, i) {
+                        store.remove(id);
+                        index.remove(id);
+                    }
+                }
+            }
+            FleetOp::AdvanceMillis(ms) => now += SimDuration::from_millis(ms as u64),
+        }
+        refresh(
+            &mut store,
+            &mut index,
+            &mut starting_queue,
+            now,
+            &headroom,
+            refresh_all,
+        );
+        // From-scratch rescan over fresh (uncached) reports.
+        let reports: Vec<LoadReport> = store
+            .iter()
+            .map(|(_, l)| l.report_fresh(now, &headroom))
+            .collect();
+        // Dispatch: freest for both priority classes, INFaaS++, round-robin.
+        for high in [false, true] {
+            let want = Dispatcher::new().dispatch_for(SchedulerKind::Llumnix, &reports, high);
+            prop_assert_eq!(index.freest(high), want, "freest(high={}) {:?}", high, op);
+        }
+        let want = Dispatcher::new().dispatch_for(SchedulerKind::InfaasPlusPlus, &reports, false);
+        prop_assert_eq!(index.least_memory_load(), want, "infaas {:?}", op);
+        let want = rr_scan.dispatch_for(SchedulerKind::RoundRobin, &reports, false);
+        let got = rr_index.dispatch_indexed(SchedulerKind::RoundRobin, &index, false);
+        prop_assert_eq!(got, want, "round-robin {:?}", op);
+        // Migration pairing at two threshold settings (the default dead band
+        // and a tight one that pairs more aggressively).
+        for thresholds in [
+            MigrationThresholds::default(),
+            MigrationThresholds {
+                source_below: 120.0,
+                destination_above: 150.0,
+            },
+        ] {
+            let want = pair_migrations(&reports, thresholds);
+            prop_assert_eq!(index.pair(thresholds), want, "pairing {:?}", op);
+        }
+        // Termination-victim selection.
+        let want = reports
+            .iter()
+            .filter(|r| !r.terminating && !r.starting)
+            .min_by_key(|r| (r.num_running, r.id))
+            .map(|r| r.id);
+        prop_assert_eq!(index.drain_victim(), want, "victim {:?}", op);
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The incremental index always selects the same instance as a
+    /// from-scratch rescan of fresh reports, on every selection path, under
+    /// arbitrary fleet event sequences (paper-default headroom).
+    #[test]
+    fn fleet_index_matches_rescan(ops in prop::collection::vec(fleet_op(), 1..60)) {
+        run_fleet_equivalence(&ops, HeadroomConfig::paper_default(), false)?;
+    }
+
+    /// Same property under the time-sensitive `Gradual` queuing rule, where
+    /// the refresh must sweep the whole fleet because reports drift with
+    /// time alone.
+    #[test]
+    fn fleet_index_matches_rescan_gradual(ops in prop::collection::vec(fleet_op(), 1..40)) {
+        let headroom = HeadroomConfig::paper_default()
+            .with_queuing_rule(QueuingRule::Gradual { ramp_secs: 10.0 });
+        run_fleet_equivalence(&ops, headroom, true)?;
     }
 }

@@ -15,6 +15,7 @@ mod percentile;
 mod plot;
 mod report;
 mod request;
+mod streaming;
 mod timeline;
 
 pub use aggregate::LatencyReport;
@@ -22,4 +23,5 @@ pub use percentile::{percentile, Summary};
 pub use plot::{sparkline, sparkline_annotated, to_csv};
 pub use report::{fmt_ratio, fmt_secs, to_json, Table};
 pub use request::{RecordPriority, RequestRecord};
+pub use streaming::SummaryAccumulator;
 pub use timeline::TimeSeries;

@@ -1,0 +1,272 @@
+//! Streaming (constant-memory) summary statistics.
+//!
+//! [`Summary::from_samples`] needs every sample resident to sort it, which is
+//! fine for per-request latencies but not for per-engine-step signals: a
+//! long serving run takes millions of steps, and buffering one `f64` per
+//! step per signal grows without bound. [`SummaryAccumulator`] ingests the
+//! same stream in O(1) memory: count, sum, min and max are exact, and the
+//! percentiles come from a fixed log-scale histogram (16 buckets per octave,
+//! ≲ 2.2 % relative error for values in `[2⁻³⁰, 2³⁴)`). Non-positive samples
+//! share one bucket — the common all-zeros stream (e.g. stall samples of a
+//! scheduler that never stalls) stays exact and never even allocates the
+//! histogram.
+
+use crate::percentile::Summary;
+
+/// Buckets per factor-of-two range.
+const PER_OCTAVE: f64 = 16.0;
+/// `log2` of the smallest resolvable positive value.
+const LO_EXP: f64 = -30.0;
+/// Octaves covered by the histogram.
+const OCTAVES: usize = 64;
+/// Total histogram buckets.
+const NUM_BUCKETS: usize = OCTAVES * PER_OCTAVE as usize;
+
+/// Constant-memory accumulator producing a [`Summary`].
+///
+/// `count` and `max` match [`Summary::from_samples`] exactly and `mean`
+/// matches up to floating-point summation order (`from_samples` sorts before
+/// summing; the accumulator sums in arrival order); the percentile fields
+/// are histogram approximations. Non-finite samples are ignored, as
+/// `from_samples` drops them.
+///
+/// # Examples
+///
+/// ```
+/// use llumnix_metrics::SummaryAccumulator;
+///
+/// let mut acc = SummaryAccumulator::new();
+/// for i in 1..=100 {
+///     acc.observe(f64::from(i));
+/// }
+/// let s = acc.finish();
+/// assert_eq!(s.count, 100);
+/// assert!((s.mean - 50.5).abs() < 1e-9);
+/// assert_eq!(s.max, 100.0);
+/// assert!((s.p99 - 99.01).abs() / 99.01 < 0.03);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SummaryAccumulator {
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Samples `<= 0.0` (kept out of the log-scale histogram).
+    nonpos: u64,
+    /// Log-scale histogram of positive samples; empty until one arrives.
+    buckets: Vec<u64>,
+}
+
+impl SummaryAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        SummaryAccumulator::default()
+    }
+
+    /// Number of (finite) samples observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no finite sample has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Ingests one sample. Non-finite values are dropped.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+        if x <= 0.0 {
+            self.nonpos += 1;
+        } else {
+            if self.buckets.is_empty() {
+                self.buckets = vec![0; NUM_BUCKETS];
+            }
+            self.buckets[bucket_of(x)] += 1;
+        }
+    }
+
+    /// Histogram estimate of the `q`-quantile, clamped to the exact sample
+    /// range. Exact when all samples are equal (so in particular for the
+    /// all-zeros stream).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.min == self.max {
+            return self.min;
+        }
+        // Rank convention of `percentile`: position q·(n−1) in sort order.
+        let rank = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
+        let mut cum = self.nonpos as f64;
+        if rank < cum {
+            // All non-positive samples collapse into one bucket; without the
+            // per-sample values, 0 is the representative unless the whole
+            // bucket is negative-capable.
+            return if self.min < 0.0 { self.min } else { 0.0 };
+        }
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n as f64;
+            if rank < cum {
+                let rep = bucket_midpoint(i);
+                return rep.clamp(self.min.max(0.0), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The accumulated [`Summary`].
+    pub fn finish(&self) -> Summary {
+        if self.count == 0 {
+            return Summary::default();
+        }
+        Summary {
+            count: self.count,
+            mean: self.sum / self.count as f64,
+            p50: self.quantile(0.50),
+            p80: self.quantile(0.80),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+fn bucket_of(x: f64) -> usize {
+    debug_assert!(x > 0.0);
+    let t = (x.log2() - LO_EXP) * PER_OCTAVE;
+    (t.floor().max(0.0) as usize).min(NUM_BUCKETS - 1)
+}
+
+fn bucket_midpoint(i: usize) -> f64 {
+    // Geometric midpoint of the bucket's value range.
+    (LO_EXP + (i as f64 + 0.5) / PER_OCTAVE).exp2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(samples: &[f64]) -> Summary {
+        Summary::from_samples(samples.to_vec())
+    }
+
+    fn streamed(samples: &[f64]) -> Summary {
+        let mut acc = SummaryAccumulator::new();
+        for &x in samples {
+            acc.observe(x);
+        }
+        acc.finish()
+    }
+
+    fn assert_close_quantiles(samples: &[f64]) {
+        let e = exact(samples);
+        let s = streamed(samples);
+        assert_eq!(s.count, e.count);
+        assert_eq!(s.max, e.max);
+        assert!((s.mean - e.mean).abs() <= 1e-12 * e.mean.abs().max(1.0));
+        for (got, want) in [
+            (s.p50, e.p50),
+            (s.p80, e.p80),
+            (s.p95, e.p95),
+            (s.p99, e.p99),
+        ] {
+            let tol = 0.03 * want.abs().max(1e-9);
+            assert!(
+                (got - want).abs() <= tol,
+                "quantile {got} vs exact {want} over {} samples",
+                samples.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_matches_default() {
+        assert_eq!(streamed(&[]), Summary::default());
+        assert!(SummaryAccumulator::new().is_empty());
+    }
+
+    #[test]
+    fn all_zeros_is_exact() {
+        let zeros = vec![0.0; 10_000];
+        let s = streamed(&zeros);
+        assert_eq!(s, exact(&zeros));
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let xs = vec![3.25; 1000];
+        assert_eq!(streamed(&xs), exact(&xs));
+    }
+
+    #[test]
+    fn uniform_ramp_quantiles_close() {
+        let xs: Vec<f64> = (1..=5000).map(|i| i as f64 * 0.01).collect();
+        assert_close_quantiles(&xs);
+    }
+
+    #[test]
+    fn heavy_tail_quantiles_close() {
+        // Mostly zeros with a sparse tail — the stall-sample shape.
+        let mut xs = vec![0.0; 9000];
+        xs.extend((1..=1000).map(|i| (i * i) as f64 * 1e-4));
+        assert_close_quantiles(&xs);
+    }
+
+    #[test]
+    fn wide_dynamic_range_brackets_rank() {
+        // Samples a factor of 2 apart: linear interpolation between ranks
+        // spans a huge gap no histogram representative can match, but the
+        // estimate must land between the samples bracketing the rank.
+        let xs: Vec<f64> = (0..40).map(|i| 2f64.powi(i - 20) * 1.3).collect();
+        let mut acc = SummaryAccumulator::new();
+        for &x in &xs {
+            acc.observe(x);
+        }
+        for q in [0.5, 0.8, 0.95, 0.99] {
+            let rank = q * (xs.len() - 1) as f64;
+            let (lo, hi) = (xs[rank.floor() as usize], xs[rank.ceil() as usize]);
+            let got = acc.quantile(q);
+            assert!(
+                got >= lo / 1.05 && got <= hi * 1.05,
+                "q={q}: {got} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_samples_dropped() {
+        let mut acc = SummaryAccumulator::new();
+        acc.observe(f64::NAN);
+        acc.observe(f64::INFINITY);
+        acc.observe(2.0);
+        let s = acc.finish();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn mean_close_despite_summation_order() {
+        // `from_samples` sums sorted samples, the accumulator sums in
+        // arrival order — equal up to floating-point associativity.
+        let xs: Vec<f64> = (0..997).map(|i| (i as f64).sin() + 1.0).collect();
+        let (a, b) = (streamed(&xs).mean, exact(&xs).mean);
+        assert!((a - b).abs() <= 1e-12 * b.abs());
+    }
+}
