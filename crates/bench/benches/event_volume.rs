@@ -1,0 +1,153 @@
+//! Event-queue microbenchmark: per-event heap scheduling vs the coalesced
+//! calendar tier for step-completion events.
+//!
+//! In a large fleet the event loop is dominated by `StepDone` events, and
+//! engines stepping in lockstep finish on the same microsecond: with 1024
+//! instances a handful of distinct finish times carry a thousand events
+//! each. The plain path pays a `BinaryHeap` push and pop (O(log n)) per
+//! event; the calendar tier batches same-time events into one bucket, so
+//! each costs an O(1) `VecDeque` append and pop off the front bucket.
+//!
+//! The workload models that lockstep shape directly: per epoch every one of
+//! `n` instances finishes a step at one of 8 cohort times (rotating cohort
+//! membership so the stream isn't trivially sorted per instance), the queue
+//! absorbs the epoch and drains it in time order. Both paths see the exact
+//! same schedule and must pop it in the exact same order — the checksum
+//! asserts that, and in debug builds the queue's shadow heap re-checks every
+//! pop against the unbatched schedule.
+//!
+//! Run with `cargo bench --bench event_volume`. The numbers land in
+//! `BENCH_event_volume.json` at the repo root (override with `--json`,
+//! shrink epochs with `--scale`); the committed copy is the baseline
+//! `scripts/bench_check` compares against.
+
+use std::time::Instant;
+
+use llumnix_bench::BenchOpts;
+use llumnix_sim::{EventQueue, SimTime};
+use serde::Serialize;
+
+/// Distinct step-finish times per epoch: engines cluster into a few lockstep
+/// cohorts, not one per instance.
+const COHORTS: usize = 8;
+/// Epoch length and cohort spacing, in microseconds.
+const EPOCH_US: u64 = 40_000;
+const COHORT_US: u64 = 500;
+
+#[derive(Serialize)]
+struct Arm {
+    instances: usize,
+    epochs: usize,
+    /// Events pushed and popped — deterministic: `instances * epochs`.
+    events: u64,
+    /// Calendar buckets the coalesced path created — deterministic:
+    /// `epochs * 8` cohorts.
+    step_buckets: u64,
+    heap_ns_per_event: f64,
+    coalesced_ns_per_event: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    benchmark: &'static str,
+    cohorts: usize,
+    arms: Vec<Arm>,
+}
+
+/// Finish time of instance `i` in epoch `e`: cohort membership rotates each
+/// epoch so pushes are not pre-sorted by instance id.
+fn finish_at(e: usize, i: usize) -> SimTime {
+    let cohort = (i + e) % COHORTS;
+    SimTime::from_micros(e as u64 * EPOCH_US + cohort as u64 * COHORT_US)
+}
+
+/// Folds a popped `(time, id)` into the order-sensitive checksum.
+fn fold(sink: u64, at: SimTime, id: u32) -> u64 {
+    sink.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(at.as_micros() ^ u64::from(id))
+}
+
+/// Per-event heap path: every step completion is its own heap entry.
+fn run_heap(n: usize, epochs: usize) -> (f64, u64) {
+    let mut queue: EventQueue<u32> = EventQueue::new();
+    let mut sink = 0u64;
+    let started = Instant::now();
+    for e in 0..epochs {
+        for i in 0..n {
+            queue.push(finish_at(e, i), i as u32);
+        }
+        while let Some((at, id)) = queue.pop() {
+            sink = fold(sink, at, id);
+        }
+    }
+    (started.elapsed().as_secs_f64(), sink)
+}
+
+/// Coalesced path: step completions go through the calendar tier.
+fn run_coalesced(n: usize, epochs: usize) -> (f64, u64, u64) {
+    let mut queue: EventQueue<u32> = EventQueue::new();
+    let mut sink = 0u64;
+    let started = Instant::now();
+    for e in 0..epochs {
+        for i in 0..n {
+            queue.push_coalesced(finish_at(e, i), i as u32);
+        }
+        while let Some((at, id)) = queue.pop() {
+            sink = fold(sink, at, id);
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    (secs, sink, queue.coalesced_buckets())
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let epochs = opts.scaled(1_000);
+    let mut arms = Vec::new();
+    for n in [64usize, 256, 512, 1024] {
+        // Warm-up at a tenth of the epochs absorbs one-time costs.
+        let w = (epochs / 10).max(10);
+        run_heap(n, w);
+        run_coalesced(n, w);
+
+        let (heap_secs, sink_a) = run_heap(n, epochs);
+        let (coal_secs, sink_b, buckets) = run_coalesced(n, epochs);
+        assert_eq!(sink_a, sink_b, "pop order diverged at fleet size {n}");
+
+        let events = (n * epochs) as u64;
+        let heap_ns = heap_secs * 1e9 / events as f64;
+        let coal_ns = coal_secs * 1e9 / events as f64;
+        println!(
+            "event_volume: n={n:5} heap {heap_ns:6.1} ns/event, \
+             coalesced {coal_ns:6.1} ns/event, speedup {:.2}x",
+            heap_ns / coal_ns
+        );
+        arms.push(Arm {
+            instances: n,
+            epochs,
+            events,
+            step_buckets: buckets,
+            heap_ns_per_event: heap_ns,
+            coalesced_ns_per_event: coal_ns,
+            speedup: heap_ns / coal_ns,
+        });
+    }
+
+    let baseline = Baseline {
+        benchmark: "event_volume",
+        cohorts: COHORTS,
+        arms,
+    };
+    let path = opts.json.clone().unwrap_or_else(|| {
+        format!(
+            "{}/../../BENCH_event_volume.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    let body = llumnix_metrics::to_json(&baseline);
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

@@ -14,8 +14,8 @@ use llumnix_engine::{
 };
 use llumnix_metrics::Table;
 use llumnix_migration::{
-    reschedule_downtime, MigrationConfig, MigrationCoordinator, ReschedulePolicy, StageOutcome,
-    StartOutcome,
+    reschedule_downtime, CommitResult, MigrationConfig, MigrationCoordinator, ReschedulePolicy,
+    StageOutcome, StartOutcome,
 };
 use llumnix_model::InstanceSpec;
 use llumnix_sim::SimTime;
@@ -123,9 +123,11 @@ fn measure(spec: &InstanceSpec, seq_len: u32, name: &str) -> Row {
                     let (mid, commit_at) =
                         coord.on_drained(*r, &mut src, now).expect("awaiting drain");
                     assert_eq!(mid, id);
-                    let out = coord
-                        .on_commit(mid, &mut src, &mut dst, commit_at)
-                        .expect("commit");
+                    let CommitResult::Committed(out) =
+                        coord.on_commit(mid, &mut src, &mut dst, commit_at)
+                    else {
+                        panic!("commit failed");
+                    };
                     commit = out;
                     break 'outer;
                 }
@@ -139,9 +141,11 @@ fn measure(spec: &InstanceSpec, seq_len: u32, name: &str) -> Row {
                 stage_done_at = copy_done_at;
             }
             StageOutcome::FinalCopy { commit_at } => {
-                let out = coord
-                    .on_commit(id, &mut src, &mut dst, commit_at)
-                    .expect("commit");
+                let CommitResult::Committed(out) =
+                    coord.on_commit(id, &mut src, &mut dst, commit_at)
+                else {
+                    panic!("commit failed");
+                };
                 commit = out;
                 break;
             }

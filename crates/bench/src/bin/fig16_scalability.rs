@@ -1,5 +1,5 @@
 //! Figure 16: scheduling scalability with 64 instances — extended with
-//! 128- and 256-instance arms.
+//! 128-, 256-, 512- and 1024-instance arms.
 //!
 //! Paper setup (§6.6): 64 LLaMA-7B instances (GPU execution replaced by
 //! measured sleeps — exactly this repo's cost model), requests with 64-token
@@ -9,10 +9,14 @@
 //! per-token slowdown); Llumnix's llumlets decide locally and report only
 //! instance-level metrics, so its stalls stay near zero.
 //!
-//! Beyond the paper, the sweep doubles the fleet twice (128 and 256
-//! instances) holding the per-instance peak rate fixed (550/64 ≈ 8.6 req/s
-//! per instance) and scaling the request count with the fleet, probing
-//! whether the global scheduler's per-decision cost grows with fleet size.
+//! Beyond the paper, the sweep doubles the fleet four times (128 through
+//! 1024 instances) holding the per-instance peak rate fixed (550/64 ≈ 8.6
+//! req/s per instance) and scaling the request count with the fleet,
+//! probing whether the global scheduler's per-decision cost grows with
+//! fleet size. Past 256 instances the simulator coarsens its periodic
+//! sampling/migration ticks (2× at 512, 4× at 1024) and coalesces
+//! same-microsecond step completions, so wall-clock cost per simulated
+//! event stays flat while the schedule below 512 is bit-for-bit unchanged.
 
 use llumnix_bench::{run_arms, ArmResult, ArmSpec, BenchOpts};
 use llumnix_core::{SchedulerKind, ServingConfig};
@@ -24,10 +28,12 @@ fn main() {
     let opts = BenchOpts::from_args();
     // (fleet size, arrival rates): the paper's rate sweep at 64 instances,
     // then the peak per-instance rate carried to doubled fleets.
-    let sweep: [(usize, &[f64]); 3] = [
+    let sweep: [(usize, &[f64]); 5] = [
         (64, &[150.0, 300.0, 450.0, 550.0]),
         (128, &[1_100.0]),
         (256, &[2_200.0]),
+        (512, &[4_400.0]),
+        (1024, &[8_800.0]),
     ];
     let mut arms: Vec<ArmSpec> = Vec::new();
     for (instances, rates) in sweep {
@@ -53,7 +59,7 @@ fn main() {
     let results = run_arms(arms);
 
     let mut table = Table::new(
-        "Figure 16: 64/128/256 instances, 64-token inputs/outputs",
+        "Figure 16: 64-1024 instances, 64-token inputs/outputs",
         &[
             "fleet",
             "rate",

@@ -60,6 +60,10 @@ pub struct IndexPolicy {
     pub track_memory: bool,
     /// Running-count ordering (termination-victim selection).
     pub track_running: bool,
+    /// Descending-freeness ordering (migration destination pairing); lets
+    /// [`DispatchIndex::pair`] read destinations off a persistent order
+    /// instead of sorting a scratch vector every migration tick.
+    pub track_pairing: bool,
 }
 
 impl IndexPolicy {
@@ -70,6 +74,7 @@ impl IndexPolicy {
             track_physical: true,
             track_memory: true,
             track_running: true,
+            track_pairing: true,
         }
     }
 
@@ -85,6 +90,7 @@ impl IndexPolicy {
             track_physical: kind.uses_priorities(),
             track_memory: matches!(kind, SchedulerKind::InfaasPlusPlus),
             track_running: autoscale,
+            track_pairing: kind.uses_migration(),
         }
     }
 }
@@ -101,10 +107,14 @@ enum Membership {
 }
 
 fn membership(report: &LoadReport) -> Membership {
-    if report.starting {
-        Membership::Starting
-    } else if report.terminating {
+    // Termination wins over startup: an instance told to terminate while
+    // still inside its startup delay (fast scale-up-then-down churn) must
+    // act as a migration source immediately, matching the rescan filter in
+    // [`crate::policy::pair_migrations`].
+    if report.terminating {
         Membership::Terminating
+    } else if report.starting {
+        Membership::Starting
     } else {
         Membership::Serving
     }
@@ -132,6 +142,11 @@ pub struct DispatchIndex {
     entries: Vec<Option<Entry>>,
     /// Serving instances by `(order_key(freeness), id)`.
     by_freeness: BTreeSet<(u64, u32)>,
+    /// Serving instances by `(!order_key(freeness), id)`: ascending iteration
+    /// yields descending freeness with ascending id among ties — the
+    /// destination order [`DispatchIndex::pair`] needs, kept persistent so
+    /// pairing never sorts.
+    by_freeness_desc: BTreeSet<(u64, u32)>,
     /// Serving instances by `(order_key(freeness_physical), id)`.
     by_physical: BTreeSet<(u64, u32)>,
     /// Serving instances by `(order_key(memory_load), id)`.
@@ -145,8 +160,6 @@ pub struct DispatchIndex {
     terminating: Vec<u32>,
     /// `serving_order` needs rebuilding from the store's order walk.
     order_dirty: bool,
-    /// Scratch for destination sorting in [`DispatchIndex::pair`].
-    dest_scratch: Vec<(u64, u32)>,
 }
 
 impl DispatchIndex {
@@ -156,13 +169,13 @@ impl DispatchIndex {
             policy,
             entries: Vec::new(),
             by_freeness: BTreeSet::new(),
+            by_freeness_desc: BTreeSet::new(),
             by_physical: BTreeSet::new(),
             by_memory: BTreeSet::new(),
             by_running: BTreeSet::new(),
             serving_order: Vec::new(),
             terminating: Vec::new(),
             order_dirty: false,
-            dest_scratch: Vec::new(),
         }
     }
 
@@ -225,6 +238,9 @@ impl DispatchIndex {
                 if self.policy.track_freeness {
                     self.by_freeness.remove(&(order_key(r.freeness), id));
                 }
+                if self.policy.track_pairing {
+                    self.by_freeness_desc.remove(&(!order_key(r.freeness), id));
+                }
                 if self.policy.track_physical {
                     self.by_physical
                         .remove(&(order_key(r.freeness_physical), id));
@@ -251,6 +267,10 @@ impl DispatchIndex {
             Membership::Serving => {
                 if self.policy.track_freeness {
                     self.by_freeness.insert((order_key(report.freeness), id));
+                }
+                if self.policy.track_pairing {
+                    self.by_freeness_desc
+                        .insert((!order_key(report.freeness), id));
                 }
                 if self.policy.track_physical {
                     self.by_physical
@@ -331,35 +351,28 @@ impl DispatchIndex {
     }
 
     /// Migration pairing (§4.4.3) straight off the index: sources are
-    /// terminating instances (ascending id; they all report `-∞` freeness)
+    /// terminating instances (ascending id; they all report `-∞` freeness,
+    /// and terminating instances still inside their startup delay count too)
     /// followed by serving instances strictly below the source threshold in
     /// ascending `(freeness, id)` order; destinations are serving instances
     /// strictly above the destination threshold in descending freeness,
-    /// ascending id among ties. Lowest is matched with highest, repeatedly —
-    /// identical to [`crate::policy::pair_migrations`] over fresh reports.
-    pub fn pair(&mut self, thresholds: MigrationThresholds) -> Vec<(InstanceId, InstanceId)> {
-        debug_assert!(self.policy.track_freeness);
+    /// ascending id among ties, read off the persistent inverted-key
+    /// ordering — no per-tick sort. Lowest is matched with highest,
+    /// repeatedly — identical to [`crate::policy::pair_migrations`] over
+    /// fresh reports.
+    pub fn pair(&self, thresholds: MigrationThresholds) -> Vec<(InstanceId, InstanceId)> {
+        debug_assert!(self.policy.track_freeness && self.policy.track_pairing);
         let src_bound = (order_key(thresholds.source_below), 0u32);
-        let dst_bound = (order_key(thresholds.destination_above), u32::MAX);
-        self.dest_scratch.clear();
-        self.dest_scratch.extend(
-            self.by_freeness
-                .range((
-                    std::ops::Bound::Excluded(dst_bound),
-                    std::ops::Bound::Unbounded,
-                ))
-                .copied(),
-        );
-        // Descending freeness, ascending id among equal freeness.
-        self.dest_scratch
-            .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        // In inverted-key space, freeness strictly above the threshold means
+        // a key strictly below `!order_key(threshold)` (any id).
+        let dst_bound = (!order_key(thresholds.destination_above), 0u32);
         let sources = self
             .terminating
             .iter()
             .copied()
             .chain(self.by_freeness.range(..src_bound).map(|&(_, id)| id));
         sources
-            .zip(self.dest_scratch.iter())
+            .zip(self.by_freeness_desc.range(..dst_bound))
             .map(|(s, &(_, d))| (InstanceId(s), InstanceId(d)))
             .collect()
     }
@@ -490,6 +503,46 @@ mod tests {
                 (InstanceId(0), InstanceId(5)),
             ]
         );
+    }
+
+    #[test]
+    fn pair_destinations_break_freeness_ties_by_id() {
+        let mut ix = DispatchIndex::new(IndexPolicy::all());
+        ix.update(&report(0, 5.0, 0.0)); // source
+        ix.update(&report(1, 2.0, 0.0)); // source (worse)
+        ix.update(&report(4, 90.0, 0.0)); // dest, tied freeness
+        ix.update(&report(2, 90.0, 0.0)); // dest, tied — smaller id first
+        let pairs = ix.pair(MigrationThresholds::default());
+        assert_eq!(
+            pairs,
+            vec![
+                (InstanceId(1), InstanceId(2)),
+                (InstanceId(0), InstanceId(4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn starting_and_terminating_instance_is_a_source() {
+        // Fast scale-up-then-down churn: an instance terminated while still
+        // inside its startup delay must act as a migration source, on both
+        // the indexed and the rescan path.
+        let mut ix = DispatchIndex::new(IndexPolicy::all());
+        let mut r3 = report(3, f64::NEG_INFINITY, 0.0);
+        r3.terminating = true;
+        r3.starting = true;
+        ix.update(&r3);
+        let r1 = report(1, 100.0, 0.0);
+        ix.update(&r1);
+        let pairs = ix.pair(MigrationThresholds::default());
+        assert_eq!(pairs, vec![(InstanceId(3), InstanceId(1))]);
+        assert_eq!(
+            pairs,
+            crate::policy::pair_migrations(&[r3, r1], MigrationThresholds::default())
+        );
+        // It is not dispatch-eligible.
+        ix.sync_order(&[InstanceId(1), InstanceId(3)]);
+        assert_eq!(ix.serving_len(), 1);
     }
 
     #[test]

@@ -221,14 +221,16 @@ impl Default for MigrationThresholds {
 /// Pairs migration sources with destinations (§4.4.3): candidates beyond the
 /// thresholds, lowest freeness matched with highest, repeatedly. Terminating
 /// instances are always sources (their fake request gives them `-∞`
-/// freeness); starting instances are never destinations.
+/// freeness) — even when still inside their startup delay, as happens under
+/// fast scale-up-then-down churn; starting instances are never destinations
+/// and only become ordinary sources once serving.
 pub fn pair_migrations(
     reports: &[LoadReport],
     thresholds: MigrationThresholds,
 ) -> Vec<(InstanceId, InstanceId)> {
     let mut sources: Vec<&LoadReport> = reports
         .iter()
-        .filter(|r| !r.starting && (r.freeness < thresholds.source_below || r.terminating))
+        .filter(|r| r.terminating || (!r.starting && r.freeness < thresholds.source_below))
         .collect();
     let mut dests: Vec<&LoadReport> = reports
         .iter()

@@ -20,8 +20,8 @@ use llumnix_engine::{
 };
 use llumnix_metrics::{RecordPriority, RequestRecord, SummaryAccumulator, TimeSeries};
 use llumnix_migration::{
-    AbortReason, CoordinatorStats, MigrationConfig, MigrationCoordinator, MigrationId,
-    StageOutcome, StartOutcome,
+    AbortReason, CommitResult, CoordinatorStats, MigrationConfig, MigrationCoordinator,
+    MigrationId, StageOutcome, StartOutcome,
 };
 use llumnix_model::InstanceSpec;
 use llumnix_sim::{EventQueue, SimDuration, SimTime};
@@ -223,12 +223,29 @@ pub struct ServingSim {
     high_batch_acc: SummaryAccumulator,
     order_scratch: Vec<InstanceId>,
     events_processed: u64,
+    /// Effective periodic-tick intervals: the configured intervals times the
+    /// fleet-size coarsening factor (see [`tick_scale`]). Constant for a run.
+    sample_interval: SimDuration,
+    migration_interval: SimDuration,
+}
+
+/// Coarsening factor for the periodic sampling and migration ticks.
+///
+/// Per-tick work grows linearly with the fleet, so at a fixed tick rate the
+/// tick overhead grows linearly too while each instance's own state changes
+/// no faster. Doubling the interval per fleet-size doubling past 256 keeps
+/// the *per-instance* tick work constant. The factor is exactly 1 up to 256
+/// instances, so every default-config figure keeps a byte-identical schedule
+/// (DESIGN.md §7.3/§7.4).
+fn tick_scale(instances: u32) -> u64 {
+    u64::from(instances.div_ceil(256).next_power_of_two())
 }
 
 impl ServingSim {
     /// Builds a simulation over `trace`.
     pub fn new(config: ServingConfig, trace: Trace) -> Self {
         assert!(config.initial_instances > 0, "need at least one instance");
+        let scale = tick_scale(config.initial_instances);
         let high_ids = trace
             .requests
             .iter()
@@ -245,6 +262,8 @@ impl ServingSim {
             coordinator: MigrationCoordinator::new(config.migration.clone()),
             central: CentralScheduler::new(config.central),
             scaler: config.autoscale.map(AutoScaler::new),
+            sample_interval: config.sample_interval.saturating_mul(scale),
+            migration_interval: config.migration_interval.saturating_mul(scale),
             config,
             trace,
             high_ids,
@@ -290,10 +309,10 @@ impl ServingSim {
         self.queue
             .push(self.trace.requests[0].arrival, Event::Arrival(0));
         self.queue
-            .push(SimTime::ZERO + self.config.sample_interval, Event::Sample);
+            .push(SimTime::ZERO + self.sample_interval, Event::Sample);
         if self.config.scheduler.uses_migration() {
             self.queue.push(
-                SimTime::ZERO + self.config.migration_interval,
+                SimTime::ZERO + self.migration_interval,
                 Event::MigrationTick,
             );
         }
@@ -502,13 +521,22 @@ impl ServingSim {
         let Some((se, de)) = self.store.two_engines(src, dst) else {
             return;
         };
-        let committed = self.coordinator.on_commit(mid, se, de, self.now);
-        if committed.is_some() {
-            self.kick(dst);
-            self.kick(src);
-            self.continue_pair(src);
-            self.maybe_finish_termination(src);
-            self.maybe_finish_termination(dst);
+        match self.coordinator.on_commit(mid, se, de, self.now) {
+            CommitResult::Committed(_) => {
+                self.kick(dst);
+                self.kick(src);
+                self.continue_pair(src);
+                self.maybe_finish_termination(src);
+                self.maybe_finish_termination(dst);
+            }
+            CommitResult::AbortedAtCommit(_) => {
+                // The reservation was released on the destination; the source
+                // keeps (or already finished) the request.
+                self.kick(dst);
+                self.kick(src);
+                self.continue_pair(src);
+            }
+            CommitResult::Stale => {}
         }
     }
 
@@ -529,10 +557,8 @@ impl ServingSim {
             }
         }
         if !self.finished_serving() {
-            self.queue.push(
-                self.now + self.config.migration_interval,
-                Event::MigrationTick,
-            );
+            self.queue
+                .push(self.now + self.migration_interval, Event::MigrationTick);
         }
     }
 
@@ -542,7 +568,7 @@ impl ServingSim {
         let Some(&dst) = self.pairs.get(&src) else {
             return;
         };
-        if !self.coordinator.migrating_from(src).is_empty() {
+        if self.coordinator.is_migration_source(src) {
             return;
         }
         let Some(llumlet) = self.store.get(src) else {
@@ -582,7 +608,7 @@ impl ServingSim {
         self.order_scratch = snapshot;
         if !self.finished_serving() {
             self.queue
-                .push(self.now + self.config.sample_interval, Event::Sample);
+                .push(self.now + self.sample_interval, Event::Sample);
         }
     }
 
@@ -720,7 +746,10 @@ impl ServingSim {
             } else {
                 self.stalls_acc.observe(0.0);
             }
-            self.queue.push(finish, Event::StepDone(id));
+            // Step completions dominate the event volume and pile up on the
+            // same microsecond in large fleets; route them through the
+            // calendar tier so same-time completions share one bucket.
+            self.queue.push_coalesced(finish, Event::StepDone(id));
         }
         let pending = self
             .store

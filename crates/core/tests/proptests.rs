@@ -123,6 +123,10 @@ enum FleetOp {
     SetTerminating(u8, bool),
     /// Launch a new instance (startup delay in millis, 0 = immediate).
     Launch(u16),
+    /// Launch a new instance mid-startup and immediately mark it
+    /// terminating — the scale-up-then-down churn edge where an instance is
+    /// both starting and terminating at once (delay is never 0 here).
+    LaunchTerminating(u16),
     /// Remove the `i`-th live instance (instance-failure path).
     Remove(u8),
     /// Advance time.
@@ -149,6 +153,7 @@ fn fleet_op() -> impl Strategy<Value = FleetOp> {
         (any::<u8>(), 0u64..40).prop_map(|(i, r)| FleetOp::AbortOn(i, r)),
         (any::<u8>(), any::<bool>()).prop_map(|(i, t)| FleetOp::SetTerminating(i, t)),
         (0u16..3_000).prop_map(FleetOp::Launch),
+        (1u16..3_000).prop_map(FleetOp::LaunchTerminating),
         any::<u8>().prop_map(FleetOp::Remove),
         (1u16..5_000).prop_map(FleetOp::AdvanceMillis),
     ]
@@ -283,6 +288,14 @@ fn run_fleet_equivalence(
                 next_instance += 1;
                 let until = (delay_ms > 0).then(|| now + SimDuration::from_millis(delay_ms as u64));
                 store.insert(id, new_llumlet(id.0, now, until));
+            }
+            FleetOp::LaunchTerminating(delay_ms) => {
+                let id = InstanceId(next_instance);
+                next_instance += 1;
+                let until = now + SimDuration::from_millis(delay_ms as u64);
+                let mut l = new_llumlet(id.0, now, Some(until));
+                l.terminating = true;
+                store.insert(id, l);
             }
             FleetOp::Remove(i) => {
                 if store.len() > 1 {

@@ -19,7 +19,8 @@ use llumnix_model::{CostModel, TransferMode};
 use llumnix_sim::{SimDuration, SimTime};
 
 use crate::types::{
-    AbortReason, CommitOutcome, MigrationConfig, MigrationId, StageOutcome, StartOutcome,
+    AbortReason, CommitOutcome, CommitResult, MigrationConfig, MigrationId, StageOutcome,
+    StartOutcome,
 };
 
 /// Internal per-migration phase.
@@ -64,12 +65,21 @@ pub struct CoordinatorStats {
     pub total_stages: u64,
 }
 
+/// Per-instance counts of active migrations using the instance as a source
+/// (`.0`) or destination (`.1`). Entries are removed when both hit zero.
+type EndpointCounts = HashMap<InstanceId, (u32, u32)>;
+
 /// Drives all live migrations in a cluster.
 pub struct MigrationCoordinator {
     config: MigrationConfig,
     next_id: u64,
     active: HashMap<MigrationId, Migration>,
     by_request: HashMap<RequestId, MigrationId>,
+    /// Incrementally maintained src/dst counters so the per-tick teardown
+    /// and scale-down checks ([`MigrationCoordinator::touches`],
+    /// [`MigrationCoordinator::is_migration_source`]) are O(1) instead of a
+    /// scan over every active migration.
+    endpoint_counts: EndpointCounts,
     stats: CoordinatorStats,
 }
 
@@ -81,6 +91,7 @@ impl MigrationCoordinator {
             next_id: 0,
             active: HashMap::new(),
             by_request: HashMap::new(),
+            endpoint_counts: HashMap::new(),
             stats: CoordinatorStats::default(),
         }
     }
@@ -117,6 +128,9 @@ impl MigrationCoordinator {
 
     /// All requests currently migrating out of `instance`.
     pub fn migrating_from(&self, instance: InstanceId) -> Vec<RequestId> {
+        if !self.is_migration_source(instance) {
+            return Vec::new();
+        }
         self.active
             .values()
             .filter(|m| m.src == instance)
@@ -124,12 +138,56 @@ impl MigrationCoordinator {
             .collect()
     }
 
+    /// Whether any active migration moves a request out of `instance`. O(1).
+    pub fn is_migration_source(&self, instance: InstanceId) -> bool {
+        let fast = self
+            .endpoint_counts
+            .get(&instance)
+            .is_some_and(|&(src, _)| src > 0);
+        debug_assert_eq!(
+            fast,
+            self.active.values().any(|m| m.src == instance),
+            "endpoint counters diverged from the active set (source side)"
+        );
+        fast
+    }
+
     /// Whether any active migration uses `instance` as source or
-    /// destination (it must not be torn down while one does).
+    /// destination (it must not be torn down while one does). O(1).
     pub fn touches(&self, instance: InstanceId) -> bool {
-        self.active
-            .values()
-            .any(|m| m.src == instance || m.dst == instance)
+        let fast = self
+            .endpoint_counts
+            .get(&instance)
+            .is_some_and(|&(src, dst)| src > 0 || dst > 0);
+        debug_assert_eq!(
+            fast,
+            self.active
+                .values()
+                .any(|m| m.src == instance || m.dst == instance),
+            "endpoint counters diverged from the active set"
+        );
+        fast
+    }
+
+    /// Registers a started migration's endpoints in the counters.
+    fn count_endpoints(&mut self, src: InstanceId, dst: InstanceId) {
+        self.endpoint_counts.entry(src).or_default().0 += 1;
+        self.endpoint_counts.entry(dst).or_default().1 += 1;
+    }
+
+    /// Unregisters a finished/aborted migration's endpoints.
+    fn uncount_endpoints(&mut self, src: InstanceId, dst: InstanceId) {
+        for (id, is_src) in [(src, true), (dst, false)] {
+            let e = self.endpoint_counts.get_mut(&id).expect("counted at start");
+            if is_src {
+                e.0 -= 1;
+            } else {
+                e.1 -= 1;
+            }
+            if *e == (0, 0) {
+                self.endpoint_counts.remove(&id);
+            }
+        }
     }
 
     // ---- protocol steps ---------------------------------------------------
@@ -181,6 +239,7 @@ impl MigrationCoordinator {
             },
         );
         self.by_request.insert(request, id);
+        self.count_endpoints(src.id, dst.id);
         self.stats.started += 1;
         StartOutcome::Started { id, stage_done_at }
     }
@@ -295,32 +354,62 @@ impl MigrationCoordinator {
     }
 
     /// Handles the commit event: moves the request's state to the
-    /// destination and resumes it there. Returns `None` for stale events.
+    /// destination and resumes it there. Returns [`CommitResult::Stale`] for
+    /// events whose migration was already gone.
+    ///
+    /// The reservation was sized at the last stage boundary with one token
+    /// of slack, but tokens generated while the drain was pending can outgrow
+    /// it (`begin_final_copy` never re-grows). Committing an undersized
+    /// reservation would silently under-account the request's KV blocks on
+    /// the destination, so the reservation is re-validated *before* the
+    /// source state is torn down: grow it to fit, or abort gracefully
+    /// (release the reservation, resume the request on the source).
     pub fn on_commit(
         &mut self,
         id: MigrationId,
         src: &mut InstanceEngine,
         dst: &mut InstanceEngine,
         now: SimTime,
-    ) -> Option<CommitOutcome> {
-        let m = self.active.get(&id)?;
-        let MigPhase::FinalCopy { drain_time } = m.phase else {
-            return None;
+    ) -> CommitResult {
+        let Some(m) = self.active.get(&id) else {
+            return CommitResult::Stale;
         };
+        let MigPhase::FinalCopy { drain_time } = m.phase else {
+            return CommitResult::Stale;
+        };
+        let request = m.request;
+        let Some(state) = src.state(request) else {
+            // The request died at the source after the drain; nothing left
+            // to move.
+            self.abort(id, src, dst, AbortReason::RequestFinished);
+            return CommitResult::AbortedAtCommit(AbortReason::RequestFinished);
+        };
+        let needed = src.spec().geometry.blocks_for_tokens(state.cached_tokens);
+        let m = self.active.get_mut(&id).expect("present");
+        if needed > m.reserved_blocks {
+            let extra = needed - m.reserved_blocks;
+            if dst.grow_reservation(m.reservation, extra).is_err() {
+                self.abort(id, src, dst, AbortReason::DestinationOutOfMemory);
+                return CommitResult::AbortedAtCommit(AbortReason::DestinationOutOfMemory);
+            }
+            let m = self.active.get_mut(&id).expect("present");
+            m.reserved_blocks = needed;
+        }
         let m = self.active.remove(&id).expect("present");
         self.by_request.remove(&m.request);
+        self.uncount_endpoints(m.src, m.dst);
         let mut state = src.finish_migration_out(m.request);
         let downtime = now.since(drain_time);
         state.migrations += 1;
         state.migration_downtime += downtime;
         dst.insert_migrated(state, m.reservation)
-            .expect("reservation sized at stage boundaries");
+            .expect("reservation grown to fit at commit");
         src.migration_ended();
         dst.migration_ended();
         self.stats.committed += 1;
         self.stats.total_downtime += downtime;
         self.stats.total_stages += m.stages as u64;
-        Some(CommitOutcome {
+        CommitResult::Committed(CommitOutcome {
             request: m.request,
             src: m.src,
             dst: m.dst,
@@ -342,6 +431,7 @@ impl MigrationCoordinator {
             return;
         };
         self.by_request.remove(&m.request);
+        self.uncount_endpoints(m.src, m.dst);
         let _ = dst.release_reservation(m.reservation);
         // A drain that has not executed yet must not fire for a dead
         // migration, and a request already drained goes back into the batch —
@@ -377,6 +467,7 @@ impl MigrationCoordinator {
         for id in affected {
             let m = self.active.remove(&id).expect("present");
             self.by_request.remove(&m.request);
+            self.uncount_endpoints(m.src, m.dst);
             let reason = if m.src == failed {
                 AbortReason::SourceFailed
             } else {
@@ -444,6 +535,14 @@ mod tests {
         t
     }
 
+    /// Unwraps a committed migration's outcome.
+    fn committed(r: CommitResult) -> CommitOutcome {
+        match r {
+            CommitResult::Committed(c) => c,
+            other => panic!("expected a commit, got {other:?}"),
+        }
+    }
+
     #[test]
     fn full_migration_two_stages() {
         let mut src = engine(0, 4096);
@@ -490,9 +589,7 @@ mod tests {
             }
             other => panic!("unexpected outcome {other:?}"),
         };
-        let commit = coord
-            .on_commit(id, &mut src, &mut dst, commit_at)
-            .expect("active");
+        let commit = committed(coord.on_commit(id, &mut src, &mut dst, commit_at));
         assert_eq!(commit.request, RequestId(1));
         assert_eq!(commit.stages, 2, "paper: migrations take two stages");
         // Downtime is the constant ~20–30 ms band, far below a blocking copy.
@@ -665,9 +762,7 @@ mod tests {
             }
             other => panic!("expected final copy for 8k seq, got {other:?}"),
         };
-        let commit = coord
-            .on_commit(id, &mut src, &mut dst, commit_at)
-            .expect("active");
+        let commit = committed(coord.on_commit(id, &mut src, &mut dst, commit_at));
         assert_eq!(commit.stages, 2);
         assert!(commit.downtime < SimDuration::from_millis(50));
     }
@@ -701,9 +796,10 @@ mod tests {
         assert!(src.running_ids().contains(&RequestId(1)));
         assert_eq!(dst.free_blocks(), dst.total_blocks());
         // A stale commit event later is ignored.
-        assert!(coord
-            .on_commit(id, &mut src, &mut dst, stage_done_at)
-            .is_none());
+        assert_eq!(
+            coord.on_commit(id, &mut src, &mut dst, stage_done_at),
+            CommitResult::Stale
+        );
     }
 
     #[test]
@@ -829,9 +925,7 @@ mod tests {
                 StageOutcome::Aborted(r) => panic!("unexpected abort {r}"),
             }
         };
-        let commit = coord
-            .on_commit(id, &mut src, &mut dst, commit_at)
-            .expect("commits despite slow link");
+        let commit = committed(coord.on_commit(id, &mut src, &mut dst, commit_at));
         assert!(
             commit.stages <= 4,
             "max_stages must bound the stage count, got {}",
@@ -856,6 +950,202 @@ mod tests {
         assert_eq!(
             coord.lookup_by_request(RequestId(1)),
             Some((id, InstanceId(0), InstanceId(1)))
+        );
+        // Endpoint counters agree with the listings on both sides.
+        assert!(coord.is_migration_source(InstanceId(0)));
+        assert!(!coord.is_migration_source(InstanceId(1)));
+        assert!(coord.touches(InstanceId(0)));
+        assert!(coord.touches(InstanceId(1)));
+        assert!(!coord.touches(InstanceId(7)));
+        coord.abort(id, &mut src, &mut dst, AbortReason::DestinationFailed);
+        assert!(!coord.touches(InstanceId(0)));
+        assert!(!coord.touches(InstanceId(1)));
+        assert!(!coord.is_migration_source(InstanceId(0)));
+        assert!(coord.migrating_from(InstanceId(0)).is_empty());
+    }
+
+    /// Brings a fresh migration to the FinalCopy phase on an idle source
+    /// (drain is immediate) and returns `(coord, id, commit_at)`.
+    fn reach_final_copy(
+        src: &mut InstanceEngine,
+        dst: &mut InstanceEngine,
+    ) -> (MigrationCoordinator, MigrationId, SimTime) {
+        let t = start_running(src, meta(1, 512, 100));
+        let mut coord = MigrationCoordinator::new(MigrationConfig::default());
+        let StartOutcome::Started { id, stage_done_at } = coord.start(RequestId(1), src, dst, t)
+        else {
+            panic!("refused");
+        };
+        let outcome = coord
+            .on_stage_done(id, src, dst, stage_done_at)
+            .expect("active");
+        let StageOutcome::FinalCopy { commit_at } = outcome else {
+            panic!("idle source should drain immediately, got {outcome:?}");
+        };
+        (coord, id, commit_at)
+    }
+
+    /// Regression: tokens generated while the drain was pending can outgrow
+    /// the one-token slack reserved at the last stage boundary. The commit
+    /// must re-grow the reservation so the destination's block accounting
+    /// covers every cached token — the old code committed the undersized
+    /// reservation silently.
+    #[test]
+    fn commit_regrows_reservation_outgrown_by_late_tokens() {
+        let mut src = engine(0, 4096);
+        let mut dst = engine(1, 4096);
+        let (mut coord, id, commit_at) = reach_final_copy(&mut src, &mut dst);
+        // Force the edge: four extra blocks' worth of tokens land between
+        // the final stage boundary and the commit (a drain that slips past
+        // a step boundary while the final copy is in flight).
+        let state = src.state_mut(RequestId(1)).expect("draining");
+        state.cached_tokens += 64;
+        let cached = state.cached_tokens;
+        let needed = src.spec().geometry.blocks_for_tokens(cached);
+        let commit = committed(coord.on_commit(id, &mut src, &mut dst, commit_at));
+        assert_eq!(commit.request, RequestId(1));
+        let landed = dst.state(RequestId(1)).expect("migrated");
+        assert_eq!(landed.cached_tokens, cached);
+        assert_eq!(
+            landed.blocks_held, needed,
+            "destination must hold blocks for every cached token"
+        );
+        assert!(dst.check_invariants());
+        assert_eq!(dst.free_blocks(), dst.total_blocks() - needed);
+    }
+
+    /// When the outgrown reservation cannot grow (destination out of memory
+    /// at commit time), the commit aborts gracefully: reservation released,
+    /// request resumed on the source — instead of panicking or committing an
+    /// undersized allocation.
+    #[test]
+    fn commit_aborts_gracefully_when_reservation_cannot_grow() {
+        let mut src = engine(0, 4096);
+        let mut dst = engine(1, 4096);
+        let (mut coord, id, commit_at) = reach_final_copy(&mut src, &mut dst);
+        src.state_mut(RequestId(1)).expect("draining").cached_tokens += 64;
+        // Fill the destination so grow_reservation must fail.
+        let free = dst.free_blocks();
+        let hog = dst.reserve_blocks(free).expect("fill destination");
+        let result = coord.on_commit(id, &mut src, &mut dst, commit_at);
+        assert_eq!(
+            result,
+            CommitResult::AbortedAtCommit(AbortReason::DestinationOutOfMemory)
+        );
+        // The request resumed on the source; the migration reservation was
+        // released (only the hog remains).
+        let s = src.state(RequestId(1)).expect("still at source");
+        assert_eq!(s.phase, Phase::Running);
+        assert!(src.running_ids().contains(&RequestId(1)));
+        let _ = dst.release_reservation(hog);
+        assert_eq!(dst.free_blocks(), dst.total_blocks());
+        assert!(dst.state(RequestId(1)).is_none());
+        assert_eq!(coord.stats().committed, 0);
+        assert_eq!(coord.stats().aborted, 1);
+        assert_eq!(coord.active_count(), 0);
+        assert!(!coord.touches(InstanceId(0)) && !coord.touches(InstanceId(1)));
+        // A replayed commit event is stale.
+        assert_eq!(
+            coord.on_commit(id, &mut src, &mut dst, commit_at),
+            CommitResult::Stale
+        );
+    }
+
+    /// A request preempted while the coordinator awaits its drain: the abort
+    /// must cancel the still-pending drain (so no spurious `Drained` fires at
+    /// the next step boundary), release the reservation, and leave stats
+    /// consistent.
+    #[test]
+    fn abort_while_awaiting_drain_cancels_pending_drain() {
+        let mut src = engine(0, 4096);
+        let mut dst = engine(1, 4096);
+        let t = start_running(&mut src, meta(1, 512, 100));
+        let mut coord = MigrationCoordinator::new(MigrationConfig::default());
+        let StartOutcome::Started { id, stage_done_at } =
+            coord.start(RequestId(1), &mut src, &mut dst, t)
+        else {
+            panic!("refused");
+        };
+        // Put a decode step in flight so the drain defers to its boundary.
+        let plan = src.poll_step(t).expect("decode");
+        let step_end = plan.finish_at();
+        let outcome = coord
+            .on_stage_done(id, &mut src, &mut dst, stage_done_at)
+            .expect("active");
+        assert_eq!(outcome, StageOutcome::DrainRequested);
+        // The request is preempted before the boundary; the serving layer
+        // observes the Preempted event and aborts the migration.
+        coord.abort(id, &mut src, &mut dst, AbortReason::RequestPreempted);
+        assert_eq!(dst.free_blocks(), dst.total_blocks());
+        assert_eq!(coord.stats().aborted, 1);
+        assert_eq!(coord.active_count(), 0);
+        assert!(!coord.touches(InstanceId(0)) && !coord.touches(InstanceId(1)));
+        // The cancelled drain must not fire at the step boundary.
+        let events = src.complete_step(step_end);
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, llumnix_engine::EngineEvent::Drained(_))),
+            "cancelled drain fired anyway: {events:?}"
+        );
+        assert_eq!(
+            src.state(RequestId(1)).expect("alive").phase,
+            Phase::Running
+        );
+        // A late Drained event for the dead migration resolves to nothing.
+        assert!(coord.on_drained(RequestId(1), &mut src, step_end).is_none());
+    }
+
+    /// Source instance fails during the final copy: the destination's
+    /// reservation is released and the late commit event is stale.
+    #[test]
+    fn source_failure_during_final_copy_releases_reservation() {
+        let mut src = engine(0, 4096);
+        let mut dst = engine(1, 4096);
+        let (mut coord, id, commit_at) = reach_final_copy(&mut src, &mut dst);
+        let mut peers: HashMap<InstanceId, &mut InstanceEngine> = HashMap::new();
+        peers.insert(InstanceId(1), &mut dst);
+        let aborted = coord.abort_for_failed_instance(InstanceId(0), &mut peers);
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].2, AbortReason::SourceFailed);
+        drop(peers);
+        assert_eq!(dst.free_blocks(), dst.total_blocks());
+        assert_eq!(coord.stats().aborted, 1);
+        assert_eq!(coord.active_count(), 0);
+        assert!(!coord.touches(InstanceId(0)) && !coord.touches(InstanceId(1)));
+        assert_eq!(
+            coord.on_commit(id, &mut src, &mut dst, commit_at),
+            CommitResult::Stale
+        );
+    }
+
+    /// Destination instance fails during the final copy: the drained request
+    /// is restored to the source batch and the late commit event is stale.
+    #[test]
+    fn destination_failure_during_final_copy_restores_request() {
+        let mut src = engine(0, 4096);
+        let mut dst = engine(1, 4096);
+        let (mut coord, id, commit_at) = reach_final_copy(&mut src, &mut dst);
+        assert_eq!(
+            src.state(RequestId(1)).expect("state").phase,
+            Phase::Draining
+        );
+        let mut peers: HashMap<InstanceId, &mut InstanceEngine> = HashMap::new();
+        peers.insert(InstanceId(0), &mut src);
+        let aborted = coord.abort_for_failed_instance(InstanceId(1), &mut peers);
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].2, AbortReason::DestinationFailed);
+        drop(peers);
+        assert_eq!(
+            src.state(RequestId(1)).expect("state").phase,
+            Phase::Running
+        );
+        assert!(src.running_ids().contains(&RequestId(1)));
+        assert_eq!(coord.stats().aborted, 1);
+        assert!(!coord.touches(InstanceId(0)) && !coord.touches(InstanceId(1)));
+        assert_eq!(
+            coord.on_commit(id, &mut src, &mut dst, commit_at),
+            CommitResult::Stale
         );
     }
 }

@@ -20,5 +20,6 @@ mod types;
 pub use baselines::{reschedule_downtime, ReschedulePolicy};
 pub use coordinator::{CoordinatorStats, MigrationCoordinator};
 pub use types::{
-    AbortReason, CommitOutcome, MigrationConfig, MigrationId, StageOutcome, StartOutcome,
+    AbortReason, CommitOutcome, CommitResult, MigrationConfig, MigrationId, StageOutcome,
+    StartOutcome,
 };

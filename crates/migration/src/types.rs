@@ -96,6 +96,21 @@ pub enum StageOutcome {
 
 /// Result of a commit event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitResult {
+    /// The request's state moved to the destination and resumed there.
+    Committed(CommitOutcome),
+    /// The commit-time reservation check failed (the final delta outgrew the
+    /// slack and the destination could not grow it, or the request died);
+    /// the migration aborted and the request, if alive, resumed on the
+    /// source. The caller should re-kick both endpoints.
+    AbortedAtCommit(AbortReason),
+    /// Stale event: the migration was aborted (or already committed) before
+    /// this event fired. Nothing changed.
+    Stale,
+}
+
+/// Outcome details of a committed migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommitOutcome {
     /// The migrated request.
     pub request: RequestId,

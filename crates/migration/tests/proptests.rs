@@ -7,7 +7,9 @@ use llumnix_engine::{
     EngineConfig, EngineEvent, InstanceEngine, InstanceId, Phase, PriorityPair, RequestId,
     RequestMeta,
 };
-use llumnix_migration::{MigrationConfig, MigrationCoordinator, StageOutcome, StartOutcome};
+use llumnix_migration::{
+    CommitResult, MigrationConfig, MigrationCoordinator, StageOutcome, StartOutcome,
+};
 use llumnix_model::InstanceSpec;
 use llumnix_sim::SimTime;
 use proptest::prelude::*;
@@ -93,7 +95,7 @@ proptest! {
                         .on_drained(RequestId(1), &mut src, now)
                         .expect("awaiting drain");
                     let out = coord.on_commit(mid, &mut src, &mut dst, commit_at);
-                    prop_assert!(out.is_some());
+                    prop_assert!(matches!(out, CommitResult::Committed(_)));
                     committed = true;
                     break 'protocol;
                 }
@@ -105,7 +107,7 @@ proptest! {
                 }
                 Some(StageOutcome::FinalCopy { commit_at }) => {
                     let out = coord.on_commit(id, &mut src, &mut dst, commit_at);
-                    prop_assert!(out.is_some());
+                    prop_assert!(matches!(out, CommitResult::Committed(_)));
                     committed = true;
                     break;
                 }

@@ -3,9 +3,23 @@
 //! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs ordered by time.
 //! Events scheduled for the same instant pop in insertion order (FIFO), which
 //! makes simulation runs reproducible regardless of the payload type.
+//!
+//! # Coalesced tier
+//!
+//! High-volume periodic events (one engine step completion per instance per
+//! step, at 1024+ instances) would each pay an `O(log n)` heap sift. Such
+//! events can instead be scheduled through [`EventQueue::push_coalesced`],
+//! which appends them to a calendar bucket keyed by firing time: instances
+//! whose steps finish at the same instant share one `BTreeMap` node and each
+//! append is an amortised `O(1)` `VecDeque` push. Both tiers draw sequence
+//! numbers from the same counter and [`EventQueue::pop`] merges them by
+//! `(time, seq)`, so the pop order is *exactly* the order a single heap would
+//! have produced — coalescing is a representation change, not a scheduling
+//! change. Debug builds verify this on every pop against a shadow schedule
+//! that records each push the way the unbatched heap would have.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -58,7 +72,19 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
+    /// Calendar tier: events coalesced into per-instant buckets. Appends
+    /// within a bucket are in ascending `seq` order, so the bucket front
+    /// always holds the bucket's minimum sequence number.
+    buckets: BTreeMap<SimTime, VecDeque<(u64, E)>>,
+    bucket_len: usize,
     next_seq: u64,
+    coalesced_events: u64,
+    coalesced_buckets: u64,
+    /// Unbatched reference schedule: every push lands here too, and every pop
+    /// must match it. This is the determinism cross-check demanded by the
+    /// coalescing contract (DESIGN.md §7.4).
+    #[cfg(debug_assertions)]
+    shadow: BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -72,40 +98,127 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            buckets: BTreeMap::new(),
+            bucket_len: 0,
             next_seq: 0,
+            coalesced_events: 0,
+            coalesced_buckets: 0,
+            #[cfg(debug_assertions)]
+            shadow: BinaryHeap::new(),
         }
     }
 
     /// Schedules `payload` to fire at `at`.
     pub fn push(&mut self, at: SimTime, payload: E) {
+        let seq = self.take_seq(at);
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedules `payload` to fire at `at` through the coalesced calendar
+    /// tier.
+    ///
+    /// Pops interleave with [`EventQueue::push`]-ed events in exact
+    /// `(time, insertion)` order; the only difference is cost. Use this for
+    /// high-volume event classes where many events share firing instants
+    /// (e.g. per-instance engine step completions in a large fleet).
+    pub fn push_coalesced(&mut self, at: SimTime, payload: E) {
+        let seq = self.take_seq(at);
+        let bucket = self.buckets.entry(at).or_insert_with(|| {
+            self.coalesced_buckets += 1;
+            VecDeque::new()
+        });
+        bucket.push_back((seq, payload));
+        self.bucket_len += 1;
+        self.coalesced_events += 1;
+    }
+
+    fn take_seq(&mut self, _at: SimTime) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        #[cfg(debug_assertions)]
+        self.shadow.push(std::cmp::Reverse((_at, seq)));
+        seq
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.payload))
+        // Both tiers order by (time, seq); the bucket front carries its
+        // bucket's minimum seq, so comparing the heap top against the first
+        // bucket's front picks the global minimum.
+        let heap_key = self.heap.peek().map(|s| (s.at, s.seq));
+        let bucket_key = self
+            .buckets
+            .first_key_value()
+            .map(|(&at, dq)| (at, dq.front().expect("buckets are never empty").0));
+        let from_bucket = match (heap_key, bucket_key) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(h), Some(b)) => b < h,
+        };
+        let (at, _seq, payload) = if from_bucket {
+            let mut entry = self.buckets.first_entry().expect("checked non-empty");
+            let at = *entry.key();
+            let (seq, payload) = entry.get_mut().pop_front().expect("non-empty bucket");
+            if entry.get().is_empty() {
+                entry.remove();
+            }
+            self.bucket_len -= 1;
+            (at, seq, payload)
+        } else {
+            let s = self.heap.pop().expect("checked non-empty");
+            (s.at, s.seq, s.payload)
+        };
+        #[cfg(debug_assertions)]
+        {
+            let expected = self.shadow.pop().expect("shadow tracks every push").0;
+            debug_assert_eq!(
+                (at, _seq),
+                expected,
+                "coalesced pop diverged from the unbatched schedule"
+            );
+        }
+        Some((at, payload))
     }
 
     /// The firing time of the earliest event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        let heap_at = self.heap.peek().map(|s| s.at);
+        let bucket_at = self.buckets.first_key_value().map(|(&at, _)| at);
+        match (heap_at, bucket_at) {
+            (Some(h), Some(b)) => Some(h.min(b)),
+            (h, b) => h.or(b),
+        }
     }
 
     /// The number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.bucket_len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.bucket_len == 0
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.buckets.clear();
+        self.bucket_len = 0;
+        #[cfg(debug_assertions)]
+        self.shadow.clear();
+    }
+
+    /// Total events ever scheduled through the coalesced tier.
+    pub fn coalesced_events(&self) -> u64 {
+        self.coalesced_events
+    }
+
+    /// Total calendar buckets ever created by the coalesced tier. The ratio
+    /// `coalesced_events / coalesced_buckets` is the mean batch width.
+    pub fn coalesced_buckets(&self) -> u64 {
+        self.coalesced_buckets
     }
 }
 
@@ -156,5 +269,86 @@ mod tests {
         q.push(SimTime::from_millis(20), "b");
         assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
         assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
+    }
+
+    #[test]
+    fn coalesced_interleaves_with_heap_in_seq_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        q.push(t, 0);
+        q.push_coalesced(t, 1);
+        q.push(t, 2);
+        q.push_coalesced(t, 3);
+        q.push_coalesced(SimTime::from_millis(3), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn coalesced_counters_track_batch_width() {
+        let mut q = EventQueue::new();
+        for i in 0..12u64 {
+            // Three distinct instants, four events each.
+            q.push_coalesced(SimTime::from_millis(i % 3), i);
+        }
+        assert_eq!(q.coalesced_events(), 12);
+        assert_eq!(q.coalesced_buckets(), 3);
+        assert_eq!(q.len(), 12);
+        // Draining and refilling an instant opens a fresh bucket.
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        q.push_coalesced(SimTime::from_millis(1), 99);
+        assert_eq!(q.coalesced_buckets(), 4);
+    }
+
+    #[test]
+    fn peek_len_clear_span_both_tiers() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(20), "heap");
+        q.push_coalesced(SimTime::from_millis(10), "bucket");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(10)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("bucket"));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(20)));
+        q.push_coalesced(SimTime::from_millis(30), "later");
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Exhaustive equivalence: a mixed push/push_coalesced stream must pop in
+    /// exactly the order a plain single-heap queue produces for the same
+    /// stream of (time, payload) pushes.
+    #[test]
+    fn mixed_stream_matches_plain_queue() {
+        let mut mixed = EventQueue::new();
+        let mut plain = EventQueue::new();
+        // Deterministic pseudo-random stream (xorshift).
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m
+        };
+        for i in 0..2_000u64 {
+            let at = SimTime::from_micros(step(64)); // heavy time collisions
+            if step(2) == 0 {
+                mixed.push_coalesced(at, i);
+            } else {
+                mixed.push(at, i);
+            }
+            plain.push(at, i);
+            if step(4) == 0 {
+                assert_eq!(mixed.pop(), plain.pop());
+            }
+        }
+        loop {
+            let (a, b) = (mixed.pop(), plain.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

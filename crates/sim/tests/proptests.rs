@@ -66,4 +66,37 @@ proptest! {
             prop_assert!((0.0..1.0).contains(&u));
         }
     }
+
+    /// Routing any subset of pushes through the coalesced calendar tier never
+    /// changes the pop sequence: a mixed queue and a plain heap-only queue fed
+    /// the same (time, payload) stream, with interleaved pops, stay in
+    /// lockstep. Times are drawn from a tiny range so buckets really coalesce.
+    #[test]
+    fn coalesced_tier_is_pop_order_transparent(
+        ops in prop::collection::vec((0u64..16, any::<bool>(), any::<bool>()), 1..400)
+    ) {
+        let mut mixed = EventQueue::new();
+        let mut plain = EventQueue::new();
+        for (i, &(t, coalesce, pop_after)) in ops.iter().enumerate() {
+            let at = SimTime::from_micros(t);
+            if coalesce {
+                mixed.push_coalesced(at, i);
+            } else {
+                mixed.push(at, i);
+            }
+            plain.push(at, i);
+            prop_assert_eq!(mixed.len(), plain.len());
+            prop_assert_eq!(mixed.peek_time(), plain.peek_time());
+            if pop_after {
+                prop_assert_eq!(mixed.pop(), plain.pop());
+            }
+        }
+        loop {
+            let (a, b) = (mixed.pop(), plain.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
 }

@@ -11,7 +11,9 @@
 //! ```
 
 use llumnix::engine::{EngineConfig, EngineEvent, InstanceEngine, InstanceId, RequestMeta};
-use llumnix::migration::{MigrationConfig, MigrationCoordinator, StageOutcome, StartOutcome};
+use llumnix::migration::{
+    CommitResult, MigrationConfig, MigrationCoordinator, StageOutcome, StartOutcome,
+};
 use llumnix::prelude::*;
 use llumnix::sim::SimTime;
 
@@ -115,9 +117,10 @@ fn main() {
         }
     };
 
-    let outcome = coord
-        .on_commit(id, &mut src, &mut dst, commit_at)
-        .expect("commit");
+    let CommitResult::Committed(outcome) = coord.on_commit(id, &mut src, &mut dst, commit_at)
+    else {
+        panic!("commit failed");
+    };
     println!(
         "t={commit_at}: committed — request resumed on {} after {} of downtime ({} stages, {} decode steps ran during the copy)",
         outcome.dst,
