@@ -6,6 +6,8 @@
 //! series, and (with `--json <path>`) dumps machine-readable rows.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

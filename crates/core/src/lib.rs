@@ -11,6 +11,8 @@
 //!   experiment runs on.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 mod central;
 pub mod index;

@@ -122,6 +122,7 @@ impl Dispatcher {
                 .iter()
                 .min_by(|a, b| {
                     a.memory_load
+                        // lint: allow(float-ord) — loads are finite and ties fall through to the id tiebreaker below
                         .partial_cmp(&b.memory_load)
                         .expect("loads finite")
                         .then(a.id.cmp(&b.id))
@@ -139,6 +140,7 @@ impl Dispatcher {
                     .iter()
                     .max_by(|a, b| {
                         key(a)
+                            // lint: allow(float-ord) — freeness is finite and ties fall through to the id tiebreaker below
                             .partial_cmp(&key(b))
                             .expect("freeness is never NaN")
                             .then(b.id.cmp(&a.id))
@@ -238,12 +240,14 @@ pub fn pair_migrations(
         .collect();
     sources.sort_by(|a, b| {
         a.freeness
+            // lint: allow(float-ord) — freeness is finite and ties fall through to the id tiebreaker below
             .partial_cmp(&b.freeness)
             .expect("freeness totally ordered")
             .then(a.id.cmp(&b.id))
     });
     dests.sort_by(|a, b| {
         b.freeness
+            // lint: allow(float-ord) — freeness is finite and ties fall through to the id tiebreaker below
             .partial_cmp(&a.freeness)
             .expect("freeness totally ordered")
             .then(a.id.cmp(&b.id))

@@ -12,7 +12,7 @@
 //! locally (admission, preemption, victim selection) and execute migrations
 //! through the Figure 7 handshake.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use llumnix_engine::{
     EngineConfig, EngineEvent, InstanceEngine, InstanceId, PriorityPair, RequestId, RequestMeta,
@@ -185,7 +185,7 @@ enum Event {
 pub struct ServingSim {
     config: ServingConfig,
     trace: Trace,
-    high_ids: HashSet<u64>,
+    high_ids: BTreeSet<u64>,
     queue: EventQueue<Event>,
     now: SimTime,
     store: InstanceStore,
@@ -205,7 +205,11 @@ pub struct ServingSim {
     dispatcher: Dispatcher,
     bypass_dispatcher: Dispatcher,
     coordinator: MigrationCoordinator,
-    pairs: HashMap<InstanceId, InstanceId>,
+    /// Current migration pairing (source → destination). A `BTreeMap` so the
+    /// per-tick `continue_pair` sweep visits sources in id order: the sweep
+    /// pushes stage events whose timestamps can collide, and the queue breaks
+    /// ties by push order, so the visit order is part of the schedule.
+    pairs: BTreeMap<InstanceId, InstanceId>,
     scaler: Option<AutoScaler>,
     central: CentralScheduler,
     global_down: bool,
@@ -278,7 +282,7 @@ impl ServingSim {
             next_instance: 0,
             dispatcher: Dispatcher::new(),
             bypass_dispatcher: Dispatcher::new(),
-            pairs: HashMap::new(),
+            pairs: BTreeMap::new(),
             global_down: false,
             undispatched: VecDeque::new(),
             records: Vec::new(),
@@ -1115,6 +1119,39 @@ mod tests {
             assert_eq!(x.migrations, y.migrations);
         }
         assert_eq!(a.migration_stats.started, b.migration_stats.started);
+    }
+
+    /// Regression for the ordered-container conversion: under migration
+    /// pressure the per-tick pairing sweep iterates `pairs`, and the
+    /// coordinator's teardown scans iterate its active set; both orders feed
+    /// the event queue. Repeated runs must agree on the *entire* migration
+    /// history — counts, downtimes, and stage totals — not just completions.
+    #[test]
+    fn migration_pairing_identical_across_runs() {
+        let trace = tiny_trace(300, 8.0, 12);
+        let run = || run_serving(tiny_config(SchedulerKind::Llumnix, 4), trace.clone());
+        let a = run();
+        let b = run();
+        assert!(a.migration_stats.started > 0, "no migration pressure");
+        assert_eq!(a.migration_stats.started, b.migration_stats.started);
+        assert_eq!(a.migration_stats.committed, b.migration_stats.committed);
+        assert_eq!(a.migration_stats.aborted, b.migration_stats.aborted);
+        assert_eq!(
+            a.migration_stats.total_downtime,
+            b.migration_stats.total_downtime
+        );
+        assert_eq!(
+            a.migration_stats.total_stages,
+            b.migration_stats.total_stages
+        );
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finish, y.finish);
+            assert_eq!(x.migrations, y.migrations);
+            assert_eq!(x.migration_downtime, y.migration_downtime);
+        }
+        assert_eq!(a.events_processed, b.events_processed);
     }
 
     #[test]

@@ -185,7 +185,7 @@ impl InstanceStore {
     pub fn peers_mut(
         &mut self,
         excluding: InstanceId,
-    ) -> std::collections::HashMap<InstanceId, &mut InstanceEngine> {
+    ) -> std::collections::BTreeMap<InstanceId, &mut InstanceEngine> {
         for i in 0..self.order.len() {
             let id = self.order[i];
             if id != excluding {

@@ -11,7 +11,7 @@
 //! the destination, drain/snapshot/commit on the source, and a small
 //! decode-overhead factor while migrations are in flight (§6.2 measures ≈1%).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use llumnix_model::{CostModel, DecodeBatch, DecodeCostMemo, InstanceSpec, PrefillBatch};
 use llumnix_sim::{SimDuration, SimTime};
@@ -156,9 +156,13 @@ pub struct InstanceEngine {
     waiting: WaitQueue,
     prefill_pending: Vec<RequestId>,
     running: Vec<RequestId>,
+    /// Per-request state. Hot lookups keep it a hash map; every iteration
+    /// over it must either be order-insensitive or sort before use.
     states: HashMap<RequestId, SeqState>,
     in_flight: Option<StepPlan>,
-    drain_requested: HashSet<RequestId>,
+    /// Drains deferred to the step boundary. A `BTreeSet` so the boundary
+    /// flush emits `Drained` events in id order, not hasher order.
+    drain_requested: BTreeSet<RequestId>,
     active_migrations: u32,
     finished: Vec<SeqState>,
     pending_events: Vec<EngineEvent>,
@@ -182,7 +186,7 @@ impl InstanceEngine {
             running: Vec::new(),
             states: HashMap::new(),
             in_flight: None,
-            drain_requested: HashSet::new(),
+            drain_requested: BTreeSet::new(),
             active_migrations: 0,
             finished: Vec::new(),
             pending_events: Vec::new(),
@@ -562,8 +566,10 @@ impl InstanceEngine {
                 }
             }
         }
-        // Apply drains requested while the step was in flight.
-        let pending: Vec<RequestId> = self.drain_requested.drain().collect();
+        // Apply drains requested while the step was in flight, in id order.
+        let pending: Vec<RequestId> = std::mem::take(&mut self.drain_requested)
+            .into_iter()
+            .collect();
         for id in pending {
             if self.running.contains(&id) {
                 self.do_drain(id);
@@ -785,13 +791,17 @@ impl InstanceEngine {
         self.states.len()
     }
 
-    /// Ids currently drained out of the batch for a final migration stage.
+    /// Ids currently drained out of the batch for a final migration stage,
+    /// in ascending id order.
     pub fn draining_ids(&self) -> Vec<RequestId> {
-        self.states
-            .iter()
+        let mut ids: Vec<RequestId> = self
+            .states
+            .iter() // lint: allow(unordered-iter) — sorted before returning
             .filter(|(_, s)| s.phase == Phase::Draining)
             .map(|(&id, _)| id)
-            .collect()
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// The head-of-line queued request and its block demand, if any.

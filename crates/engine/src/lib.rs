@@ -7,6 +7,8 @@
 //! drain, snapshot, commit).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 mod block;
 mod instance;

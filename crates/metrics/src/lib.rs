@@ -9,6 +9,8 @@
 //! * [`Table`] and JSON helpers for the benchmark binaries' output.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 mod aggregate;
 mod percentile;

@@ -12,7 +12,7 @@
 //! of memory, or the request finishing/being preempted aborts the migration
 //! and releases the reservation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use llumnix_engine::{DrainOutcome, InstanceEngine, InstanceId, Phase, RequestId, ReservationId};
 use llumnix_model::{CostModel, TransferMode};
@@ -67,14 +67,20 @@ pub struct CoordinatorStats {
 
 /// Per-instance counts of active migrations using the instance as a source
 /// (`.0`) or destination (`.1`). Entries are removed when both hit zero.
-type EndpointCounts = HashMap<InstanceId, (u32, u32)>;
+type EndpointCounts = BTreeMap<InstanceId, (u32, u32)>;
 
 /// Drives all live migrations in a cluster.
+///
+/// All bookkeeping lives in `BTreeMap`s: the teardown scans
+/// ([`MigrationCoordinator::migrating_from`],
+/// [`MigrationCoordinator::abort_for_failed_instance`]) iterate these maps
+/// and feed their order into the event queue, so the iteration order must be
+/// a pure function of the simulation state, never of a hasher seed.
 pub struct MigrationCoordinator {
     config: MigrationConfig,
     next_id: u64,
-    active: HashMap<MigrationId, Migration>,
-    by_request: HashMap<RequestId, MigrationId>,
+    active: BTreeMap<MigrationId, Migration>,
+    by_request: BTreeMap<RequestId, MigrationId>,
     /// Incrementally maintained src/dst counters so the per-tick teardown
     /// and scale-down checks ([`MigrationCoordinator::touches`],
     /// [`MigrationCoordinator::is_migration_source`]) are O(1) instead of a
@@ -89,9 +95,9 @@ impl MigrationCoordinator {
         MigrationCoordinator {
             config,
             next_id: 0,
-            active: HashMap::new(),
-            by_request: HashMap::new(),
-            endpoint_counts: HashMap::new(),
+            active: BTreeMap::new(),
+            by_request: BTreeMap::new(),
+            endpoint_counts: BTreeMap::new(),
             stats: CoordinatorStats::default(),
         }
     }
@@ -455,7 +461,7 @@ impl MigrationCoordinator {
     pub fn abort_for_failed_instance(
         &mut self,
         failed: InstanceId,
-        peers: &mut HashMap<InstanceId, &mut InstanceEngine>,
+        peers: &mut BTreeMap<InstanceId, &mut InstanceEngine>,
     ) -> Vec<(MigrationId, RequestId, AbortReason)> {
         let affected: Vec<MigrationId> = self
             .active
@@ -811,7 +817,7 @@ mod tests {
         let StartOutcome::Started { .. } = coord.start(RequestId(1), &mut src, &mut dst, t) else {
             panic!("refused");
         };
-        let mut peers: HashMap<InstanceId, &mut InstanceEngine> = HashMap::new();
+        let mut peers: BTreeMap<InstanceId, &mut InstanceEngine> = BTreeMap::new();
         peers.insert(InstanceId(1), &mut dst);
         let aborted = coord.abort_for_failed_instance(InstanceId(0), &mut peers);
         assert_eq!(aborted.len(), 1);
@@ -964,6 +970,50 @@ mod tests {
         assert!(coord.migrating_from(InstanceId(0)).is_empty());
     }
 
+    /// Regression for the `BTreeMap` conversion: the teardown scans iterate
+    /// the active set, and their order feeds the event queue. With several
+    /// in-flight migrations both listings must come back in ascending
+    /// (creation) order every time — under the old `HashMap` books the order
+    /// was a function of the hasher seed.
+    #[test]
+    fn teardown_scans_iterate_in_creation_order() {
+        let mut engines: Vec<InstanceEngine> = (0..4).map(|i| engine(i, 4096)).collect();
+        let mut coord = MigrationCoordinator::new(MigrationConfig::default());
+        // Three migrations out of instance 0, started for requests 7, 3, 5
+        // (ids deliberately not in insertion order).
+        for (req, dst) in [(7u64, 1usize), (3, 2), (5, 3)] {
+            let t = start_running(&mut engines[0], meta(req, 256, 100));
+            let (src, rest) = engines.split_at_mut(1);
+            let out = coord.start(RequestId(req), &mut src[0], &mut rest[dst - 1], t);
+            assert!(matches!(out, StartOutcome::Started { .. }), "{out:?}");
+        }
+        // `migrating_from` lists by ascending MigrationId = start order.
+        assert_eq!(
+            coord.migrating_from(InstanceId(0)),
+            vec![RequestId(7), RequestId(3), RequestId(5)]
+        );
+        // A source failure aborts them in the same deterministic order.
+        let (src, rest) = engines.split_at_mut(1);
+        let mut peers: BTreeMap<InstanceId, &mut InstanceEngine> = BTreeMap::new();
+        for e in rest.iter_mut() {
+            peers.insert(e.id, e);
+        }
+        let aborted = coord.abort_for_failed_instance(InstanceId(0), &mut peers);
+        let order: Vec<(MigrationId, RequestId)> =
+            aborted.iter().map(|&(id, req, _)| (id, req)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (MigrationId(0), RequestId(7)),
+                (MigrationId(1), RequestId(3)),
+                (MigrationId(2), RequestId(5)),
+            ]
+        );
+        drop(peers);
+        let _ = src;
+        assert_eq!(coord.active_count(), 0);
+    }
+
     /// Brings a fresh migration to the FinalCopy phase on an idle source
     /// (drain is immediate) and returns `(coord, id, commit_at)`.
     fn reach_final_copy(
@@ -1103,7 +1153,7 @@ mod tests {
         let mut src = engine(0, 4096);
         let mut dst = engine(1, 4096);
         let (mut coord, id, commit_at) = reach_final_copy(&mut src, &mut dst);
-        let mut peers: HashMap<InstanceId, &mut InstanceEngine> = HashMap::new();
+        let mut peers: BTreeMap<InstanceId, &mut InstanceEngine> = BTreeMap::new();
         peers.insert(InstanceId(1), &mut dst);
         let aborted = coord.abort_for_failed_instance(InstanceId(0), &mut peers);
         assert_eq!(aborted.len(), 1);
@@ -1130,7 +1180,7 @@ mod tests {
             src.state(RequestId(1)).expect("state").phase,
             Phase::Draining
         );
-        let mut peers: HashMap<InstanceId, &mut InstanceEngine> = HashMap::new();
+        let mut peers: BTreeMap<InstanceId, &mut InstanceEngine> = BTreeMap::new();
         peers.insert(InstanceId(0), &mut src);
         let aborted = coord.abort_for_failed_instance(InstanceId(1), &mut peers);
         assert_eq!(aborted.len(), 1);

@@ -13,6 +13,8 @@
 //! * [`InstanceSpec`] — the bundle describing one serving instance type.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 mod cost;
 mod instance;

@@ -7,6 +7,8 @@
 //! single seed replays identically across runs and platforms.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 
 mod clock;
 mod queue;

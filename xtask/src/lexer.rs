@@ -1,0 +1,304 @@
+//! A minimal Rust lexer for the determinism audit.
+//!
+//! Produces a flat token stream (identifiers, punctuation, literals) with
+//! line numbers, plus the text of every `//` comment keyed by line so rule
+//! passes can find lint allow-annotations. It understands just
+//! enough of the language to never misread comments, strings (including
+//! raw strings), char literals, and lifetimes — the cases where a naive
+//! `grep` would produce false positives.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Source text of the token (empty for literals, whose contents never
+    /// matter to any rule).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// String / char / byte / numeric literal (contents dropped).
+    Literal,
+    /// Lifetime (`'a`, `'static`) or loop label.
+    Lifetime,
+}
+
+/// Lexed file: the code token stream and the per-line comment texts.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `(line, text)` of every `//` comment, in source order. Block comments
+    /// are recorded under their first line.
+    pub comments: Vec<(u32, String)>,
+}
+
+/// Lexes `src`. Never fails: unterminated constructs swallow the rest of
+/// the file, which is the behaviour that keeps every later pass safe.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push((
+                    line,
+                    src[start..i].trim_start_matches('/').trim().to_string(),
+                ));
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments
+                    .push((start_line, src[start..i.min(b.len())].to_string()));
+            }
+            b'"' => {
+                i = skip_string(b, i + 1, &mut line);
+                out.tokens.push(tok(TokenKind::Literal, "", line));
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                i = skip_raw_string(b, i, &mut line);
+                out.tokens.push(tok(TokenKind::Literal, "", line));
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                i = skip_string(b, i + 2, &mut line);
+                out.tokens.push(tok(TokenKind::Literal, "", line));
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'\x'`-style escapes and `'c'`
+                // are literals; anything else is a lifetime/label.
+                if b.get(i + 1) == Some(&b'\\') {
+                    i += 2; // skip the backslash and the escaped char
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(tok(TokenKind::Literal, "", line));
+                } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
+                    i += 3;
+                    out.tokens.push(tok(TokenKind::Literal, "", line));
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.tokens
+                        .push(tok(TokenKind::Lifetime, &src[start..i], line));
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(tok(TokenKind::Ident, &src[start..i], line));
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers: digits, underscores, type suffixes, hex/exponent
+                // letters, and a dot only when a digit follows it (so the
+                // `.` in `1.0.max(2.0)` stays a method-call dot).
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d == b'_' || d.is_ascii_alphanumeric() {
+                        i += 1;
+                    } else if d == b'.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(tok(TokenKind::Literal, "", line));
+            }
+            _ => {
+                // Consume one whole char: non-ASCII bytes (e.g. `▁` in a doc
+                // comment that the comment arms didn't catch, or in idents)
+                // must not be split mid-codepoint.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                out.tokens
+                    .push(tok(TokenKind::Punct, &src[i..i + ch_len], line));
+                i += ch_len;
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: TokenKind, text: &str, line: u32) -> Token {
+    Token {
+        kind,
+        text: text.to_string(),
+        line,
+    }
+}
+
+/// Advances past a (non-raw) string body starting just after the opening
+/// quote; returns the index after the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether `r"`, `r#"`, `br"`, or `br#"` starts at `i`.
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Advances past a raw string starting at its `r`/`br`; returns the index
+/// after the closing delimiter.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the `r`
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // the opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while h < hashes && b.get(j) == Some(&b'#') {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+// HashMap in a comment
+/* unsafe in a block
+   spanning lines */
+let s = "Instant::now() in a string";
+let r = r#"SystemTime "raw" HashMap"#;
+let c = 'x';
+let l: &'static str = s;
+"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "HashMap"));
+        assert!(!ids.iter().any(|t| t == "unsafe"));
+        assert!(!ids.iter().any(|t| t == "Instant"));
+        assert!(!ids.iter().any(|t| t == "SystemTime"));
+        assert!(ids.contains(&"let".to_string()));
+        let lexed = lex(src);
+        assert!(lexed.comments[0].1.contains("HashMap in a comment"));
+        assert!(
+            lexed
+                .tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"),
+            "lifetimes survive"
+        );
+    }
+
+    #[test]
+    fn float_method_chains_keep_their_dots() {
+        let lexed = lex("let x = 1.0.max(2.5);");
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text == ".")
+            .count();
+        assert_eq!(dots, 1, "the method-call dot must not be eaten: {lexed:?}");
+    }
+
+    #[test]
+    fn line_numbers_track_every_construct() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = HashMap::new();\n";
+        let lexed = lex(src);
+        let hm = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "HashMap")
+            .expect("HashMap token");
+        assert_eq!(hm.line, 4);
+    }
+}

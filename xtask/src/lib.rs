@@ -1,0 +1,872 @@
+//! The determinism audit: `cargo xtask lint`.
+//!
+//! Every figure this repo produces must be byte-identical across runs,
+//! machines, and `--threads` counts (DESIGN.md §7). The dynamic checks —
+//! captured figure outputs, bench baselines, debug shadow cross-checks —
+//! catch a violation only *after* it changed a schedule. This pass catches
+//! the bug classes statically, the way deterministic-simulation stacks do:
+//!
+//! | rule id           | contract |
+//! |-------------------|----------|
+//! | `unordered-iter`  | no iteration over `HashMap`/`HashSet` in deterministic crates unless annotated or folded through an order-insensitive sink |
+//! | `wall-clock`      | no `Instant`/`SystemTime` in deterministic crates — virtual [`Clock`](https://docs.rs) time only |
+//! | `float-ord`       | no raw `f64` ordering comparisons outside the blessed `order_key` encoding in `crates/core/src/index.rs` |
+//! | `unsafe-code`     | no `unsafe` anywhere (paired with `#![forbid(unsafe_code)]`) |
+//! | `serialized-hash` | no default-hasher container inside a `#[derive(Serialize)]` type (figure/bench output must not depend on hasher order) |
+//! | `missing-forbid`  | every crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Escape hatches, both with **mandatory justifications**:
+//!
+//! * a site annotation on the offending line or the line above:
+//!   `// lint: allow(unordered-iter) — <why this order cannot matter>`
+//! * a repo-level entry in `xtask/lint.allow`:
+//!   `<rule-id> <path> <justification>` — unused entries are themselves
+//!   violations (`unused-allow`), so the file cannot rot.
+//!
+//! The analyzer is a hand-rolled tokenizer pass (no external deps — the
+//! build environment is offline) over `crates/*/src`, `src/`, and
+//! `xtask/src`. It is deliberately conservative: it tracks identifiers
+//! bound to hash containers *per file* and flags their iteration, so a
+//! sound refactor is never nagged twice, and anything it cannot prove is
+//! order-insensitive needs a human-written reason.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod lexer;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, Token, TokenKind};
+
+/// Crates whose code executes inside the deterministic simulation: the
+/// strict rules apply here. `bench` (wall-clock measurement) and `metrics`
+/// (post-hoc aggregation) are exempt from the simulation-path rules but
+/// still checked for `unsafe` and serialized hash containers.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["core", "engine", "migration", "model", "sim", "workload"];
+
+/// The one file allowed to order floats directly: it defines the lossless
+/// `order_key` encoding every other ordering must go through.
+pub const BLESSED_FLOAT_FILE: &str = "crates/core/src/index.rs";
+
+/// Lint rules. Ids are stable: annotations and the allowlist refer to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Iteration over a default-hasher container in a deterministic crate.
+    UnorderedIter,
+    /// Wall-clock time source in a deterministic crate.
+    WallClock,
+    /// Raw float ordering comparison outside the blessed encoding.
+    FloatOrd,
+    /// An `unsafe` block or function.
+    UnsafeCode,
+    /// Hash container inside a `#[derive(Serialize)]` type.
+    SerializedHash,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    MissingForbid,
+    /// An allow annotation without a justification.
+    BareAllow,
+    /// An allowlist entry that matched nothing.
+    UnusedAllow,
+}
+
+impl Rule {
+    /// The stable rule id used in annotations and reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::FloatOrd => "float-ord",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::SerializedHash => "serialized-hash",
+            Rule::MissingForbid => "missing-forbid",
+            Rule::BareAllow => "bare-allow",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        Some(match id {
+            "unordered-iter" => Rule::UnorderedIter,
+            "wall-clock" => Rule::WallClock,
+            "float-ord" => Rule::FloatOrd,
+            "unsafe-code" => Rule::UnsafeCode,
+            "serialized-hash" => Rule::SerializedHash,
+            "missing-forbid" => Rule::MissingForbid,
+            _ => return None,
+        })
+    }
+
+    /// Whether a site annotation / allowlist entry may silence this rule.
+    /// `unsafe-code` and `missing-forbid` have no escape hatch: the
+    /// determinism contract never needs either.
+    pub fn allowable(self) -> bool {
+        !matches!(
+            self,
+            Rule::UnsafeCode | Rule::MissingForbid | Rule::BareAllow | Rule::UnusedAllow
+        )
+    }
+}
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// How a file is classified for rule selection.
+#[derive(Debug, Clone, Default)]
+pub struct FileClass {
+    /// Simulation-path crate: the strict rules apply.
+    pub deterministic: bool,
+    /// The `order_key` home file, exempt from `float-ord`.
+    pub blessed_float_file: bool,
+    /// A crate root that must carry `#![forbid(unsafe_code)]`.
+    pub lib_root: bool,
+}
+
+// ---- annotations ----------------------------------------------------------
+
+/// Site annotations parsed from a file's comments: `(line, rule)` pairs,
+/// plus `bare-allow` findings for annotations with no justification.
+struct Allows {
+    at: Vec<(u32, Rule)>,
+    bare: Vec<(u32, String)>,
+}
+
+const ALLOW_MARKER: &str = "lint: allow(";
+
+fn parse_allows(comments: &[(u32, String)]) -> Allows {
+    let mut at = Vec::new();
+    let mut bare = Vec::new();
+    for (line, text) in comments {
+        let Some(pos) = text.find(ALLOW_MARKER) else {
+            continue;
+        };
+        let rest = &text[pos + ALLOW_MARKER.len()..];
+        let Some(close) = rest.find(')') else {
+            bare.push((*line, "unterminated lint: allow(...)".to_string()));
+            continue;
+        };
+        let id = rest[..close].trim();
+        let Some(rule) = Rule::from_id(id) else {
+            bare.push((*line, format!("unknown rule `{id}` in allow annotation")));
+            continue;
+        };
+        if !rule.allowable() {
+            bare.push((*line, format!("rule `{id}` cannot be allowed")));
+            continue;
+        }
+        // The justification: whatever follows the `)`, minus separator
+        // punctuation, must contain a word.
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '-', ':', ','])
+            .trim();
+        if reason.chars().filter(|c| c.is_alphanumeric()).count() < 3 {
+            bare.push((
+                *line,
+                format!("allow({id}) needs a justification after the `)`"),
+            ));
+            continue;
+        }
+        at.push((*line, rule));
+    }
+    Allows { at, bare }
+}
+
+impl Allows {
+    /// An annotation covers its own line (trailing comment) and the line
+    /// directly below it (preceding-line comment).
+    fn covers(&self, line: u32, rule: Rule) -> bool {
+        self.at
+            .iter()
+            .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    }
+}
+
+// ---- the allowlist file ---------------------------------------------------
+
+/// The repo-level allowlist (`xtask/lint.allow`): one entry per line,
+/// `<rule-id> <path> <justification>`. Justifications are mandatory and
+/// unused entries are violations.
+pub struct Allowlist {
+    entries: Vec<(Rule, String, bool)>,
+    /// Findings produced while parsing (bad entries).
+    pub parse_findings: Vec<Finding>,
+}
+
+impl Allowlist {
+    /// An empty allowlist.
+    pub fn empty() -> Self {
+        Allowlist {
+            entries: Vec::new(),
+            parse_findings: Vec::new(),
+        }
+    }
+
+    /// Parses the allowlist text. `origin` names the file in findings.
+    pub fn parse(text: &str, origin: &str) -> Self {
+        let mut entries = Vec::new();
+        let mut parse_findings = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = i as u32 + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let rule_id = parts.next().unwrap_or_default();
+            let path = parts.next().unwrap_or_default();
+            let reason = parts.next().unwrap_or_default().trim();
+            let bad = |msg: String| Finding {
+                path: origin.to_string(),
+                line: lineno,
+                rule: Rule::BareAllow,
+                message: msg,
+            };
+            let Some(rule) = Rule::from_id(rule_id) else {
+                parse_findings.push(bad(format!("unknown rule `{rule_id}` in allowlist")));
+                continue;
+            };
+            if !rule.allowable() {
+                parse_findings.push(bad(format!("rule `{rule_id}` cannot be allowlisted")));
+                continue;
+            }
+            if path.is_empty() {
+                parse_findings.push(bad("allowlist entry missing a path".to_string()));
+                continue;
+            }
+            if reason.chars().filter(|c| c.is_alphanumeric()).count() < 3 {
+                parse_findings.push(bad(format!(
+                    "allowlist entry for {path} needs a justification"
+                )));
+                continue;
+            }
+            entries.push((rule, path.to_string(), false));
+        }
+        Allowlist {
+            entries,
+            parse_findings,
+        }
+    }
+
+    /// Whether an entry covers `(rule, path)`; marks it used.
+    pub fn allows(&mut self, rule: Rule, path: &str) -> bool {
+        let mut hit = false;
+        for (r, p, used) in &mut self.entries {
+            if *r == rule && p == path {
+                *used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// `unused-allow` findings for entries that matched nothing.
+    pub fn unused_findings(&self, origin: &str) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .filter(|(_, _, used)| !used)
+            .map(|(rule, path, _)| Finding {
+                path: origin.to_string(),
+                line: 0,
+                rule: Rule::UnusedAllow,
+                message: format!(
+                    "allowlist entry `{} {}` matched nothing — delete it",
+                    rule.id(),
+                    path
+                ),
+            })
+            .collect()
+    }
+}
+
+// ---- token helpers --------------------------------------------------------
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == text
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == text
+}
+
+/// Index just past the group that opens at `open` (which must hold `(`,
+/// `[`, or `{`), balancing all three bracket kinds.
+fn skip_group(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+// ---- rule passes ----------------------------------------------------------
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+/// Iterator folds whose result cannot depend on visit order (assuming pure
+/// closures, which is on the annotator if violated).
+const ORDER_INSENSITIVE_SINKS: [&str; 6] = ["sum", "count", "min", "max", "all", "any"];
+
+/// Identifiers bound to a hash container anywhere in the file: struct
+/// fields, params, and lets declared `: HashMap<...>`, initialized from
+/// `HashMap::new()`-style paths, or typed via a local `type X = HashMap`
+/// alias.
+fn hash_container_idents(tokens: &[Token]) -> BTreeSet<String> {
+    let mut type_names: BTreeSet<String> = HASH_TYPES.iter().map(|s| s.to_string()).collect();
+    // Local aliases: `type Foo = HashMap<...>;`
+    for i in 0..tokens.len() {
+        if is_ident(&tokens[i], "type")
+            && i + 2 < tokens.len()
+            && tokens[i + 1].kind == TokenKind::Ident
+            && is_punct(&tokens[i + 2], "=")
+        {
+            let mut j = i + 3;
+            while j < tokens.len() && !is_punct(&tokens[j], ";") {
+                if tokens[j].kind == TokenKind::Ident && HASH_TYPES.contains(&&*tokens[j].text) {
+                    type_names.insert(tokens[i + 1].text.clone());
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    // `name : <path containing a hash type>` — fields, params, typed lets,
+    // and struct-literal fields initialized from `HashMap::new()`.
+    for i in 1..tokens.len() {
+        if !is_punct(&tokens[i], ":") {
+            continue;
+        }
+        // Skip `::` path separators.
+        if (i > 0 && is_punct(&tokens[i - 1], ":"))
+            || (i + 1 < tokens.len() && is_punct(&tokens[i + 1], ":"))
+        {
+            continue;
+        }
+        if tokens[i - 1].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = &tokens[i - 1].text;
+        // Scan the type/initializer path: idents, `::`, `&`, and generic
+        // angle brackets. Stop at anything else.
+        let mut j = i + 1;
+        let mut found = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            let path_piece = t.kind == TokenKind::Ident
+                || t.kind == TokenKind::Lifetime
+                || (t.kind == TokenKind::Punct && matches!(t.text.as_str(), ":" | "&" | "<" | ">"));
+            if !path_piece {
+                break;
+            }
+            if t.kind == TokenKind::Ident && type_names.contains(&t.text) {
+                found = true;
+                break;
+            }
+            j += 1;
+        }
+        if found {
+            out.insert(name.clone());
+        }
+    }
+    // `let [mut] name = <path containing a hash type>(...)`.
+    for i in 0..tokens.len() {
+        if !is_ident(&tokens[i], "let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if j < tokens.len() && is_ident(&tokens[j], "mut") {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = &tokens[j].text;
+        // Find the `=` of this let (same statement, before any `;`).
+        let mut k = j + 1;
+        while k < tokens.len() && !is_punct(&tokens[k], "=") && !is_punct(&tokens[k], ";") {
+            k += 1;
+        }
+        if k >= tokens.len() || !is_punct(&tokens[k], "=") {
+            continue;
+        }
+        let mut m = k + 1;
+        while m < tokens.len() {
+            let t = &tokens[m];
+            let path_piece = t.kind == TokenKind::Ident
+                || (t.kind == TokenKind::Punct && matches!(t.text.as_str(), ":" | "<" | ">" | "&"));
+            if !path_piece {
+                break;
+            }
+            if t.kind == TokenKind::Ident && type_names.contains(&t.text) {
+                out.insert(name.clone());
+                break;
+            }
+            m += 1;
+        }
+    }
+    out
+}
+
+/// Walks a method chain starting at the `(` of the first call; returns
+/// `true` if any later method in the chain is an order-insensitive sink.
+fn chain_reaches_sink(tokens: &[Token], first_open: usize) -> bool {
+    let mut i = skip_group(tokens, first_open);
+    loop {
+        if i >= tokens.len() || !is_punct(&tokens[i], ".") {
+            return false;
+        }
+        let Some(m) = tokens.get(i + 1) else {
+            return false;
+        };
+        if m.kind != TokenKind::Ident {
+            return false;
+        }
+        if ORDER_INSENSITIVE_SINKS.contains(&&*m.text) {
+            return true;
+        }
+        // Skip an optional turbofish, then the argument group.
+        let mut j = i + 2;
+        if j + 1 < tokens.len() && is_punct(&tokens[j], ":") && is_punct(&tokens[j + 1], ":") {
+            // `::<...>`
+            j += 2;
+            if j < tokens.len() && is_punct(&tokens[j], "<") {
+                let mut depth = 0i32;
+                while j < tokens.len() {
+                    if is_punct(&tokens[j], "<") {
+                        depth += 1;
+                    } else if is_punct(&tokens[j], ">") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+        if j < tokens.len() && is_punct(&tokens[j], "(") {
+            i = skip_group(tokens, j);
+        } else {
+            // A field access or `.await`-like postfix: keep walking.
+            i = j;
+        }
+    }
+}
+
+fn unordered_iter_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
+    let containers = hash_container_idents(tokens);
+    if containers.is_empty() {
+        return;
+    }
+    // Method-call iteration: `name.iter()`, `name.drain(..)`, ...
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || !containers.contains(&t.text) {
+            continue;
+        }
+        let (Some(dot), Some(m)) = (tokens.get(i + 1), tokens.get(i + 2)) else {
+            continue;
+        };
+        if !is_punct(dot, ".") || m.kind != TokenKind::Ident || !ITER_METHODS.contains(&&*m.text) {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 3) else {
+            continue;
+        };
+        if !is_punct(open, "(") {
+            continue;
+        }
+        if m.text != "retain" && chain_reaches_sink(tokens, i + 3) {
+            continue;
+        }
+        findings.push(Finding {
+            path: path.to_string(),
+            line: m.line,
+            rule: Rule::UnorderedIter,
+            message: format!(
+                "`{}.{}()` iterates a default-hasher container in a deterministic crate; \
+                 use a BTree container, sort before use, or annotate \
+                 `// lint: allow(unordered-iter) — <reason>`",
+                t.text, m.text
+            ),
+        });
+    }
+    // `for`-loop iteration: `for x in &name { ... }`.
+    for i in 0..tokens.len() {
+        if !is_ident(&tokens[i], "for") {
+            continue;
+        }
+        // Find the `in` of this loop header (within a small window).
+        let mut j = i + 1;
+        let mut in_at = None;
+        while j < tokens.len() && j < i + 12 {
+            if is_ident(&tokens[j], "in") {
+                in_at = Some(j);
+                break;
+            }
+            if is_punct(&tokens[j], "{") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_at) = in_at else { continue };
+        // The iterated expression: tokens up to the body `{`. A `(` means a
+        // method call — the pass above owns that case.
+        let mut k = in_at + 1;
+        let mut last_ident: Option<&Token> = None;
+        let mut has_call = false;
+        while k < tokens.len() && !is_punct(&tokens[k], "{") {
+            if is_punct(&tokens[k], "(") {
+                has_call = true;
+            }
+            if tokens[k].kind == TokenKind::Ident {
+                last_ident = Some(&tokens[k]);
+            }
+            k += 1;
+        }
+        if has_call {
+            continue;
+        }
+        if let Some(id) = last_ident {
+            if containers.contains(&id.text) {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: id.line,
+                    rule: Rule::UnorderedIter,
+                    message: format!(
+                        "`for .. in {}` iterates a default-hasher container in a \
+                         deterministic crate; use a BTree container or sort first",
+                        id.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn wall_clock_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
+    for t in tokens {
+        if t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                rule: Rule::WallClock,
+                message: format!(
+                    "`{}` is a wall-clock time source; simulation paths must use the \
+                     virtual clock (llumnix_sim::SimTime / Clock) only",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn float_ord_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
+    for i in 1..tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && (t.text == "partial_cmp" || t.text == "total_cmp")
+            && is_punct(&tokens[i - 1], ".")
+        {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                rule: Rule::FloatOrd,
+                message: format!(
+                    "raw `.{}()` float ordering; route the comparison through the \
+                     lossless `order_key` encoding in {BLESSED_FLOAT_FILE}",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn unsafe_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
+    for t in tokens {
+        if is_ident(t, "unsafe") {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: t.line,
+                rule: Rule::UnsafeCode,
+                message: "`unsafe` is banned workspace-wide (no escape hatch); \
+                          the simulator needs none"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn serialized_hash_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // An outer attribute: `#[ ... ]`.
+        if !(is_punct(&tokens[i], "#") && i + 1 < tokens.len() && is_punct(&tokens[i + 1], "[")) {
+            i += 1;
+            continue;
+        }
+        let end = skip_group(tokens, i + 1);
+        let attr = &tokens[i + 1..end];
+        let is_serialize_derive = attr.iter().any(|t| is_ident(t, "derive"))
+            && attr.iter().any(|t| is_ident(t, "Serialize"));
+        i = end;
+        if !is_serialize_derive {
+            continue;
+        }
+        // Skip further attributes and doc noise up to the item keyword.
+        let mut j = i;
+        while j < tokens.len() {
+            if is_punct(&tokens[j], "#") && j + 1 < tokens.len() && is_punct(&tokens[j + 1], "[") {
+                j = skip_group(tokens, j + 1);
+            } else if tokens[j].kind == TokenKind::Ident
+                && matches!(tokens[j].text.as_str(), "struct" | "enum")
+            {
+                break;
+            } else {
+                j += 1;
+            }
+        }
+        if j >= tokens.len() {
+            return;
+        }
+        // The item body: `{ ... }` or `( ... )` (tuple struct) or `;`.
+        let mut k = j + 1;
+        while k < tokens.len()
+            && !is_punct(&tokens[k], "{")
+            && !is_punct(&tokens[k], "(")
+            && !is_punct(&tokens[k], ";")
+        {
+            k += 1;
+        }
+        if k >= tokens.len() || is_punct(&tokens[k], ";") {
+            i = k;
+            continue;
+        }
+        let body_end = skip_group(tokens, k);
+        for t in &tokens[k..body_end] {
+            if t.kind == TokenKind::Ident && HASH_TYPES.contains(&&*t.text) {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: t.line,
+                    rule: Rule::SerializedHash,
+                    message: format!(
+                        "`{}` inside a `#[derive(Serialize)]` type: serialized output \
+                         would depend on hasher order; use a BTree container",
+                        t.text
+                    ),
+                });
+            }
+        }
+        i = body_end;
+    }
+}
+
+fn missing_forbid_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        if is_punct(&tokens[i], "#")
+            && tokens.get(i + 1).is_some_and(|t| is_punct(t, "!"))
+            && tokens.get(i + 2).is_some_and(|t| is_punct(t, "["))
+            && tokens.get(i + 3).is_some_and(|t| is_ident(t, "forbid"))
+            && tokens
+                .get(i + 5)
+                .is_some_and(|t| is_ident(t, "unsafe_code"))
+        {
+            return;
+        }
+    }
+    findings.push(Finding {
+        path: path.to_string(),
+        line: 1,
+        rule: Rule::MissingForbid,
+        message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+    });
+}
+
+// ---- per-file driver ------------------------------------------------------
+
+/// Lints one file's source. `path` is used for reporting and allowlist
+/// matching; `class` selects the applicable rules.
+pub fn lint_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
+    let lexed = lex(src);
+    let allows = parse_allows(&lexed.comments);
+    let mut raw = Vec::new();
+    if class.deterministic {
+        unordered_iter_pass(&lexed.tokens, path, &mut raw);
+        wall_clock_pass(&lexed.tokens, path, &mut raw);
+        if !class.blessed_float_file {
+            float_ord_pass(&lexed.tokens, path, &mut raw);
+        }
+    }
+    unsafe_pass(&lexed.tokens, path, &mut raw);
+    serialized_hash_pass(&lexed.tokens, path, &mut raw);
+    if class.lib_root {
+        missing_forbid_pass(&lexed.tokens, path, &mut raw);
+    }
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| !(f.rule.allowable() && allows.covers(f.line, f.rule)))
+        .collect();
+    for (line, message) in allows.bare {
+        findings.push(Finding {
+            path: path.to_string(),
+            line,
+            rule: Rule::BareAllow,
+            message,
+        });
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+// ---- workspace walk -------------------------------------------------------
+
+/// A file scheduled for linting.
+#[derive(Debug)]
+pub struct WorkItem {
+    /// Absolute path.
+    pub abs: PathBuf,
+    /// Repo-relative display path.
+    pub rel: String,
+    /// Rule classification.
+    pub class: FileClass,
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Enumerates every file the audit covers: `crates/*/src`, the root crate's
+/// `src/`, and `xtask/src` itself.
+pub fn work_items(root: &Path) -> Vec<WorkItem> {
+    let mut items = Vec::new();
+    let mut push_tree = |src_dir: PathBuf, crate_name: String| {
+        let deterministic = DETERMINISTIC_CRATES.contains(&crate_name.as_str());
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files);
+        for abs in files {
+            let rel = abs
+                .strip_prefix(root)
+                .unwrap_or(&abs)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let class = FileClass {
+                deterministic,
+                blessed_float_file: rel == BLESSED_FLOAT_FILE,
+                lib_root: abs.file_name().is_some_and(|f| f == "lib.rs")
+                    && abs.parent() == Some(src_dir.as_path()),
+            };
+            items.push(WorkItem { abs, rel, class });
+        }
+    };
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        push_tree(dir.join("src"), name);
+    }
+    push_tree(root.join("src"), "llumnix".to_string());
+    push_tree(root.join("xtask").join("src"), "xtask".to_string());
+    items
+}
+
+/// Runs the full audit over the workspace at `root`, applying the
+/// allowlist at `xtask/lint.allow` if present. Returns all findings,
+/// sorted by path and line.
+pub fn run_lint(root: &Path) -> Vec<Finding> {
+    let allow_path = root.join("xtask").join("lint.allow");
+    let allow_origin = "xtask/lint.allow";
+    let mut allowlist = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text, allow_origin),
+        Err(_) => Allowlist::empty(),
+    };
+    let mut findings: Vec<Finding> = allowlist.parse_findings.clone();
+    for item in work_items(root) {
+        let Ok(src) = std::fs::read_to_string(&item.abs) else {
+            continue;
+        };
+        for f in lint_source(&item.rel, &src, &item.class) {
+            if f.rule.allowable() && allowlist.allows(f.rule, &f.path) {
+                continue;
+            }
+            findings.push(f);
+        }
+    }
+    findings.extend(allowlist.unused_findings(allow_origin));
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings
+}

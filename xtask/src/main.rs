@@ -1,0 +1,51 @@
+//! `cargo xtask` — workspace automation. The only subcommand today is
+//! `lint`, the determinism audit (see lib.rs for the rules).
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the workspace root is one up from
+    // this crate's manifest.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}`");
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let findings = xtask::run_lint(&root);
+    if findings.is_empty() {
+        println!("xtask lint: determinism audit clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!(
+        "xtask lint: {} violation{} of the byte-identical-schedule contract (DESIGN.md §8)",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,12 @@
+// Fixture: an allow-annotation with no justification must trip
+// `bare-allow` AND leave the original violation standing. Not compiled —
+// consumed by lint_rules.rs.
+use std::collections::HashMap;
+
+struct S {
+    m: HashMap<u64, u64>,
+}
+
+fn ids(s: &S) -> Vec<u64> {
+    s.m.keys().copied().collect() // lint: allow(unordered-iter)
+}

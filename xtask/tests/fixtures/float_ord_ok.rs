@@ -1,0 +1,29 @@
+// Fixture: ordering through the blessed `order_key` encoding, a trait
+// *definition* of partial_cmp, and a justified annotation must NOT trip
+// `float-ord`. Not compiled — consumed by lint_rules.rs.
+
+fn order_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | 1 << 63
+    } else {
+        !bits
+    }
+}
+
+fn argmax(xs: &[f64]) -> Option<usize> {
+    (0..xs.len()).max_by_key(|&i| order_key(xs[i]))
+}
+
+struct Score(f64);
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(order_key(self.0).cmp(&order_key(other.0)))
+    }
+}
+
+fn sort_for_display(xs: &mut [f64]) {
+    // lint: allow(float-ord) — display-only ordering, inputs are finite
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

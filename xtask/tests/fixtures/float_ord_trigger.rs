@@ -1,0 +1,16 @@
+// Fixture: raw float ordering in a deterministic crate must trip
+// `float-ord`. Not compiled — consumed by lint_rules.rs.
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, x) in xs.iter().enumerate() {
+        if x.partial_cmp(&xs[best]).map_or(false, |o| o.is_gt()) {
+            best = i;
+        }
+    }
+    best
+}
+
+fn sort_totally(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root carrying `#![forbid(unsafe_code)]` passes
+//! `missing-forbid`. Not compiled — consumed by lint_rules.rs.
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]` must trip
+//! `missing-forbid`. Not compiled — consumed by lint_rules.rs.
+#![deny(rust_2018_idioms)]
+
+pub fn noop() {}

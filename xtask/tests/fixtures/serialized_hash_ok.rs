@@ -1,0 +1,14 @@
+// Fixture: BTree containers in serialized types, and hash containers in
+// types that do NOT serialize, must NOT trip `serialized-hash`. Not
+// compiled — consumed by lint_rules.rs.
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FigureRecord {
+    latencies_by_instance: BTreeMap<u64, f64>,
+}
+
+#[derive(Debug, Default)]
+struct ScratchState {
+    cache: HashMap<u64, f64>,
+}

@@ -1,0 +1,13 @@
+// Fixture: hash containers inside `#[derive(Serialize)]` types must trip
+// `serialized-hash` in any crate. Not compiled — consumed by lint_rules.rs.
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct FigureRecord {
+    latencies_by_instance: HashMap<u64, f64>,
+}
+
+#[derive(Serialize)]
+enum Sample {
+    Ids(HashSet<u64>),
+}

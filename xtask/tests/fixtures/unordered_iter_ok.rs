@@ -1,0 +1,42 @@
+// Fixture: none of this may trip `unordered-iter` even in a deterministic
+// crate — BTree containers, order-insensitive sinks, and a justified
+// annotation. Not compiled — consumed by lint_rules.rs.
+use std::collections::{BTreeMap, HashMap};
+
+struct Fleet {
+    members: BTreeMap<u64, String>,
+    loads: HashMap<u64, u64>,
+}
+
+fn total(f: &Fleet) -> u64 {
+    f.loads.values().copied().sum()
+}
+
+fn busiest(f: &Fleet) -> Option<u64> {
+    f.loads.values().copied().max()
+}
+
+fn any_idle(f: &Fleet) -> bool {
+    f.loads.values().any(|&l| l == 0)
+}
+
+fn names(f: &Fleet) -> Vec<&String> {
+    f.members.values().collect()
+}
+
+fn sorted_ids(f: &Fleet) -> Vec<u64> {
+    let mut ids: Vec<u64> = f
+        .loads
+        .keys() // lint: allow(unordered-iter) — sorted before returning
+        .copied()
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn sorted_loads(f: &Fleet) -> Vec<u64> {
+    // lint: allow(unordered-iter) — values are sorted before use
+    let mut out: Vec<u64> = f.loads.values().copied().collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,28 @@
+// Fixture: every construct here must trip `unordered-iter` when classified
+// as a deterministic crate. Not compiled — consumed by lint_rules.rs.
+use std::collections::{HashMap, HashSet};
+
+type Counts = HashMap<u64, u32>;
+
+struct Fleet {
+    members: HashMap<u64, String>,
+    tags: HashSet<u64>,
+    counts: Counts,
+}
+
+fn report(f: &Fleet) -> Vec<u64> {
+    let mut out = Vec::new();
+    for id in &f.tags {
+        out.push(*id);
+    }
+    for (id, _) in f.members.iter() {
+        out.push(*id);
+    }
+    let ids: Vec<u64> = f.counts.keys().copied().collect();
+    out.extend(ids);
+    out
+}
+
+fn prune(f: &mut Fleet) {
+    f.members.retain(|id, _| *id != 0);
+}

@@ -1,0 +1,7 @@
+// Fixture: `unsafe` must trip `unsafe-code` in ANY crate, and no
+// annotation may silence it. Not compiled — consumed by lint_rules.rs.
+
+fn first(v: &[u8]) -> u8 {
+    // lint: allow(unsafe-code) — this annotation must be rejected
+    unsafe { *v.get_unchecked(0) }
+}

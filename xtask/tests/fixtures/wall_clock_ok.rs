@@ -1,0 +1,14 @@
+// Fixture: virtual time and string/comment mentions must NOT trip
+// `wall-clock`. Not compiled — consumed by lint_rules.rs.
+
+// Instant::now() in a comment is fine.
+
+struct SimTime(u64);
+
+fn advance(t: SimTime, dt: u64) -> SimTime {
+    SimTime(t.0 + dt)
+}
+
+fn describe() -> &'static str {
+    "never calls Instant::now() or SystemTime::now()"
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock time sources in a deterministic crate must trip
+// `wall-clock`. Not compiled — consumed by lint_rules.rs.
+use std::time::{Instant, SystemTime};
+
+fn elapsed_ms(start: Instant) -> u128 {
+    start.elapsed().as_millis()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}

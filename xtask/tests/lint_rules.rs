@@ -1,0 +1,236 @@
+//! Fixture-driven tests for the determinism audit: every rule has a
+//! trigger fixture (must produce findings with the right rule id and
+//! line) and a no-trigger fixture (must stay silent), plus the
+//! allow-annotation escape hatch and the allowlist file format.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use xtask::{lint_source, run_lint, Allowlist, FileClass, Rule};
+
+fn det() -> FileClass {
+    FileClass {
+        deterministic: true,
+        ..Default::default()
+    }
+}
+
+fn nondet() -> FileClass {
+    FileClass::default()
+}
+
+fn rules_of(findings: &[xtask::Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn unordered_iter_triggers() {
+    let src = include_str!("fixtures/unordered_iter_trigger.rs");
+    let findings = lint_source("fixtures/unordered_iter_trigger.rs", src, &det());
+    let unordered: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnorderedIter)
+        .collect();
+    // for-loop over a HashSet, .iter() on a HashMap, .keys() on an
+    // alias-typed HashMap, and .retain() — all four sites.
+    assert_eq!(unordered.len(), 4, "{findings:?}");
+    assert!(unordered.iter().all(|f| f.line > 0));
+    // Reported lines land on the iterating construct, in source order.
+    let lines: Vec<u32> = unordered.iter().map(|f| f.line).collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted);
+}
+
+#[test]
+fn unordered_iter_spares_btrees_sinks_and_annotated_sites() {
+    let src = include_str!("fixtures/unordered_iter_ok.rs");
+    let findings = lint_source("fixtures/unordered_iter_ok.rs", src, &det());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unordered_iter_is_off_outside_deterministic_crates() {
+    let src = include_str!("fixtures/unordered_iter_trigger.rs");
+    let findings = lint_source("fixtures/unordered_iter_trigger.rs", src, &nondet());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn wall_clock_triggers() {
+    let src = include_str!("fixtures/wall_clock_trigger.rs");
+    let findings = lint_source("fixtures/wall_clock_trigger.rs", src, &det());
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::WallClock),
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .all(|f| f.rule == Rule::WallClock && f.line > 0));
+}
+
+#[test]
+fn wall_clock_ignores_comments_strings_and_virtual_time() {
+    let src = include_str!("fixtures/wall_clock_ok.rs");
+    let findings = lint_source("fixtures/wall_clock_ok.rs", src, &det());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn float_ord_triggers_on_partial_and_total_cmp() {
+    let src = include_str!("fixtures/float_ord_trigger.rs");
+    let findings = lint_source("fixtures/float_ord_trigger.rs", src, &det());
+    assert_eq!(rules_of(&findings), vec![Rule::FloatOrd, Rule::FloatOrd]);
+}
+
+#[test]
+fn float_ord_spares_order_key_definitions_and_annotations() {
+    let src = include_str!("fixtures/float_ord_ok.rs");
+    let findings = lint_source("fixtures/float_ord_ok.rs", src, &det());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn float_ord_is_off_in_the_blessed_file() {
+    let src = include_str!("fixtures/float_ord_trigger.rs");
+    let class = FileClass {
+        deterministic: true,
+        blessed_float_file: true,
+        ..Default::default()
+    };
+    let findings = lint_source("fixtures/float_ord_trigger.rs", src, &class);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unsafe_triggers_everywhere_and_cannot_be_allowed() {
+    let src = include_str!("fixtures/unsafe_trigger.rs");
+    for class in [det(), nondet()] {
+        let findings = lint_source("fixtures/unsafe_trigger.rs", src, &class);
+        assert!(
+            findings.iter().any(|f| f.rule == Rule::UnsafeCode),
+            "{findings:?}"
+        );
+        // The fixture's allow-annotation must be rejected as bare.
+        assert!(
+            findings.iter().any(|f| f.rule == Rule::BareAllow),
+            "{findings:?}"
+        );
+    }
+}
+
+#[test]
+fn serialized_hash_triggers_in_any_crate() {
+    let src = include_str!("fixtures/serialized_hash_trigger.rs");
+    let findings = lint_source("fixtures/serialized_hash_trigger.rs", src, &nondet());
+    // HashMap field in the struct and HashSet payload in the enum.
+    assert_eq!(
+        rules_of(&findings),
+        vec![Rule::SerializedHash, Rule::SerializedHash]
+    );
+}
+
+#[test]
+fn serialized_hash_spares_btrees_and_unserialized_types() {
+    let src = include_str!("fixtures/serialized_hash_ok.rs");
+    let findings = lint_source("fixtures/serialized_hash_ok.rs", src, &nondet());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn missing_forbid_triggers_only_on_lib_roots() {
+    let trigger = include_str!("fixtures/missing_forbid_trigger.rs");
+    let ok = include_str!("fixtures/missing_forbid_ok.rs");
+    let root = FileClass {
+        lib_root: true,
+        ..Default::default()
+    };
+    let findings = lint_source("fixtures/missing_forbid_trigger.rs", trigger, &root);
+    assert_eq!(rules_of(&findings), vec![Rule::MissingForbid]);
+    assert_eq!(findings[0].line, 1);
+    let findings = lint_source("fixtures/missing_forbid_ok.rs", ok, &root);
+    assert!(findings.is_empty(), "{findings:?}");
+    // The same file as a non-root module is not required to carry it.
+    let findings = lint_source("fixtures/missing_forbid_trigger.rs", trigger, &nondet());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn bare_allow_leaves_the_original_violation_standing() {
+    let src = include_str!("fixtures/bare_allow_trigger.rs");
+    let findings = lint_source("fixtures/bare_allow_trigger.rs", src, &det());
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::UnorderedIter),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::BareAllow),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn findings_render_as_path_line_rule() {
+    let src = include_str!("fixtures/float_ord_trigger.rs");
+    let findings = lint_source("crates/demo/src/x.rs", src, &det());
+    let line = findings[0].to_string();
+    assert!(
+        line.starts_with("crates/demo/src/x.rs:") && line.contains("[float-ord]"),
+        "{line}"
+    );
+}
+
+#[test]
+fn allowlist_requires_justifications_and_flags_unused_entries() {
+    let text = "\
+# comment lines and blanks are fine
+
+unordered-iter crates/demo/src/a.rs values drained into a sorted vec
+float-ord crates/demo/src/b.rs
+unsafe-code crates/demo/src/c.rs reasons do not help here
+bogus-rule crates/demo/src/d.rs whatever
+";
+    let mut list = Allowlist::parse(text, "xtask/lint.allow");
+    // Three bad entries: missing reason, unallowable rule, unknown rule.
+    assert_eq!(list.parse_findings.len(), 3, "{:?}", list.parse_findings);
+    assert!(list
+        .parse_findings
+        .iter()
+        .all(|f| f.rule == Rule::BareAllow));
+    // The good entry silences its (rule, path) pair...
+    assert!(list.allows(Rule::UnorderedIter, "crates/demo/src/a.rs"));
+    // ...but not other paths or rules.
+    assert!(!list.allows(Rule::UnorderedIter, "crates/demo/src/z.rs"));
+    assert!(!list.allows(Rule::WallClock, "crates/demo/src/a.rs"));
+    // Used entries produce no unused-allow findings.
+    assert!(list.unused_findings("xtask/lint.allow").is_empty());
+
+    let mut stale = Allowlist::parse(
+        "wall-clock crates/demo/src/never.rs left over from a refactor\n",
+        "xtask/lint.allow",
+    );
+    assert!(!stale.allows(Rule::FloatOrd, "crates/demo/src/never.rs"));
+    let unused = stale.unused_findings("xtask/lint.allow");
+    assert_eq!(rules_of(&unused), vec![Rule::UnusedAllow]);
+}
+
+#[test]
+fn the_real_tree_is_clean() {
+    // The audit over the actual workspace must pass: this is the same
+    // check CI runs via `cargo xtask lint`, enforced here so plain
+    // `cargo test` catches a regression too.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("workspace root")
+        .to_path_buf();
+    let findings = run_lint(&root);
+    assert!(
+        findings.is_empty(),
+        "determinism audit found violations:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
