@@ -85,7 +85,7 @@ fn meta(id: u64, input: u32) -> RequestMeta {
 /// churning: even rounds add one request each, the following odd round
 /// aborts exactly those requests (same instances), keeping state bounded.
 fn perturb(store: &mut InstanceStore, n: usize, round: usize) {
-    let adding = round.is_multiple_of(2);
+    let adding = round % 2 == 0;
     let base = if adding { round } else { round - 1 } * PERTURB;
     for k in 0..PERTURB {
         let slot = base + k;

@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -33,6 +33,9 @@ pub struct BenchOpts {
     pub scale: f64,
     /// Worker-thread override (`--threads N`), if given.
     pub threads: Option<usize>,
+    /// Canonical output mode (`--canonical`): zero out the wall-clock field
+    /// so result files are byte-identical across runs and thread counts.
+    pub canonical: bool,
 }
 
 /// Parses the value following a flag, exiting with a clear diagnostic when the
@@ -56,8 +59,8 @@ where
 }
 
 impl BenchOpts {
-    /// Parses `--seed`, `--json`, `--scale`, and `--threads` from
-    /// `std::env::args`.
+    /// Parses `--seed`, `--json`, `--scale`, `--threads`, and `--canonical`
+    /// from `std::env::args`.
     ///
     /// Malformed or missing values for these flags abort with exit code 2.
     /// Unrecognized arguments are left alone — individual binaries consume
@@ -68,6 +71,7 @@ impl BenchOpts {
             json: None,
             scale: 1.0,
             threads: None,
+            canonical: false,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -103,6 +107,11 @@ impl BenchOpts {
                     opts.threads = Some(threads);
                     set_thread_override(threads);
                     i += 2;
+                }
+                "--canonical" => {
+                    opts.canonical = true;
+                    set_canonical_output(true);
+                    i += 1;
                 }
                 _ => i += 1,
             }
@@ -147,13 +156,29 @@ pub struct ArmResult {
     pub avg_instances: f64,
     /// Mean fragmentation proportion.
     pub fragmentation_mean: f64,
-    /// Wall-clock seconds the simulation took.
+    /// Wall-clock seconds the simulation took (0.0 under `--canonical`: it
+    /// is the one field of this row real time can perturb, and the CI
+    /// determinism cross-check diffs result files byte for byte).
     pub sim_wall_secs: f64,
 }
 
 // ---- parallel sweep harness ----------------------------------------------
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static CANONICAL_OUTPUT: AtomicBool = AtomicBool::new(false);
+
+/// Enables canonical output (what `--canonical` sets): [`run_arm`] records
+/// `sim_wall_secs = 0.0` instead of measured wall time, making every figure's
+/// JSON a pure function of (seed, config) — byte-identical at any `--threads`
+/// count.
+pub fn set_canonical_output(on: bool) {
+    CANONICAL_OUTPUT.store(on, Ordering::SeqCst);
+}
+
+/// Whether canonical output mode is on.
+pub fn canonical_output() -> bool {
+    CANONICAL_OUTPUT.load(Ordering::SeqCst)
+}
 
 /// Overrides the worker-thread count for [`parallel_map`] / [`run_arms`]
 /// (what `--threads N` sets). Zero restores the environment-driven default.
@@ -278,7 +303,11 @@ pub fn run_arm(
     let scheduler = config.scheduler;
     let started = Instant::now();
     let out = run_serving(config, trace);
-    let wall = started.elapsed().as_secs_f64();
+    let wall = if canonical_output() {
+        0.0
+    } else {
+        started.elapsed().as_secs_f64()
+    };
     let report = LatencyReport::from_records(&out.records);
     (
         ArmResult {
@@ -354,6 +383,7 @@ mod tests {
             json: None,
             scale: 0.1,
             threads: None,
+            canonical: false,
         };
         assert_eq!(opts.scaled(10_000), 1_000);
         assert_eq!(opts.scaled(50), 10, "floor at 10");

@@ -25,6 +25,7 @@ pub mod virtual_usage;
 pub use central::{CentralScheduler, CentralSchedulerModel};
 pub use index::{DispatchIndex, IndexPolicy};
 pub use llumlet::Llumlet;
+pub use llumnix_faults::{FaultKind, FaultPlan, FaultPlanConfig, PlannedFault};
 pub use policy::{
     pair_migrations, AutoScaleConfig, AutoScaler, Dispatcher, LoadReport, MigrationThresholds,
     ScaleAction, SchedulerKind, VictimPolicy,

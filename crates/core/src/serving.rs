@@ -18,7 +18,8 @@ use llumnix_engine::{
     EngineConfig, EngineEvent, InstanceEngine, InstanceId, PriorityPair, RequestId, RequestMeta,
     SeqState,
 };
-use llumnix_metrics::{RecordPriority, RequestRecord, SummaryAccumulator, TimeSeries};
+use llumnix_faults::{FaultKind, FaultPlan};
+use llumnix_metrics::{FaultStats, RecordPriority, RequestRecord, SummaryAccumulator, TimeSeries};
 use llumnix_migration::{
     AbortReason, CommitResult, CoordinatorStats, MigrationConfig, MigrationCoordinator,
     MigrationId, StageOutcome, StartOutcome,
@@ -91,6 +92,11 @@ pub struct ServingConfig {
     pub central: CentralSchedulerModel,
     /// Injected failures.
     pub failures: Vec<FailureSpec>,
+    /// Seeded fault schedule replayed as first-class events (crashes,
+    /// stragglers, migration-link failures). Empty by default. Unlike the
+    /// scripted [`FailureSpec`] path, requests lost to a planned crash are
+    /// *re-dispatched* through the main dispatcher, not aborted.
+    pub fault_plan: FaultPlan,
     /// Hard wall-clock cap on the simulation (guards runaway configs).
     pub max_sim_time: SimTime,
 }
@@ -116,6 +122,7 @@ impl ServingConfig {
             sample_interval: SimDuration::from_secs(1),
             central: CentralSchedulerModel::default(),
             failures: Vec::new(),
+            fault_plan: FaultPlan::empty(),
             max_sim_time: SimTime::from_secs(24 * 3600),
         }
     }
@@ -123,6 +130,12 @@ impl ServingConfig {
     /// Enables auto-scaling.
     pub fn with_autoscale(mut self, cfg: AutoScaleConfig) -> Self {
         self.autoscale = Some(cfg);
+        self
+    }
+
+    /// Replays a seeded fault schedule during the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -165,6 +178,8 @@ pub struct ServingOutput {
     pub makespan: SimTime,
     /// Simulation events processed by the event loop (throughput metric).
     pub events_processed: u64,
+    /// Failure/recovery accounting for the fault-injection subsystem.
+    pub fault_stats: FaultStats,
 }
 
 /// Simulation events.
@@ -177,6 +192,7 @@ enum Event {
     MigrationTick,
     Sample,
     Fail(usize),
+    PlannedFault(usize),
     GlobalRecover,
     InstanceRestart,
 }
@@ -224,6 +240,17 @@ pub struct ServingSim {
     instances_ts: TimeSeries,
     arrivals_done: bool,
     makespan: SimTime,
+    /// Failure/recovery counters for the fault-injection subsystem.
+    fault_stats: FaultStats,
+    /// First-token-after-crash latencies for redispatched requests.
+    recovery_acc: SummaryAccumulator,
+    /// Request id → time of the crash that lost it (drained into
+    /// `recovery_acc` when the redispatched request produces a token).
+    crash_lost_at: BTreeMap<u64, SimTime>,
+    /// Straggling instances: id → (slowdown expiry, step-latency factor).
+    slow_until: BTreeMap<InstanceId, (SimTime, f64)>,
+    /// Instances whose migration link is down, and until when.
+    link_down_until: BTreeMap<InstanceId, SimTime>,
     high_batch_acc: SummaryAccumulator,
     order_scratch: Vec<InstanceId>,
     events_processed: u64,
@@ -295,6 +322,11 @@ impl ServingSim {
             instances_ts: TimeSeries::new("instances"),
             arrivals_done: false,
             makespan: SimTime::ZERO,
+            fault_stats: FaultStats::default(),
+            recovery_acc: SummaryAccumulator::new(),
+            crash_lost_at: BTreeMap::new(),
+            slow_until: BTreeMap::new(),
+            link_down_until: BTreeMap::new(),
             high_batch_acc: SummaryAccumulator::new(),
             order_scratch: Vec::new(),
             events_processed: 0,
@@ -311,7 +343,7 @@ impl ServingSim {
             return self.into_output();
         }
         self.queue
-            .push(self.trace.requests[0].arrival, Event::Arrival(0));
+            .push_coalesced(self.trace.requests[0].arrival, Event::Arrival(0));
         self.queue
             .push(SimTime::ZERO + self.sample_interval, Event::Sample);
         if self.config.scheduler.uses_migration() {
@@ -327,6 +359,12 @@ impl ServingSim {
             };
             self.queue.push(at, Event::Fail(i));
         }
+        if let Some(first) = self.config.fault_plan.get(0) {
+            // Planned faults chain like arrivals: exactly one in-queue event
+            // at a time, so a long fault horizon cannot keep a drained
+            // simulation alive.
+            self.queue.push(first.at, Event::PlannedFault(0));
+        }
         while let Some((at, event)) = self.queue.pop() {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
@@ -339,6 +377,18 @@ impl ServingSim {
     }
 
     fn into_output(self) -> ServingOutput {
+        // No leaked blocks: every surviving engine's per-request block ledger
+        // must still reconcile with its allocator, crashes and aborts
+        // included. Cheap (one pass per engine, once per run), so it is a
+        // hard assert rather than debug-only.
+        for (id, l) in self.store.iter() {
+            assert!(
+                l.engine.check_invariants(),
+                "engine {id:?} block ledger inconsistent at shutdown"
+            );
+        }
+        let mut fault_stats = self.fault_stats;
+        fault_stats.recovery_latency = self.recovery_acc.finish();
         let avg_instances = self.instances_ts.time_weighted_mean();
         ServingOutput {
             scheduler: self.config.scheduler,
@@ -355,6 +405,7 @@ impl ServingSim {
             high_step_batches: self.high_batch_acc.finish(),
             makespan: self.makespan,
             events_processed: self.events_processed,
+            fault_stats,
         }
     }
 
@@ -370,6 +421,7 @@ impl ServingSim {
             Event::MigrationTick => self.on_migration_tick(),
             Event::Sample => self.on_sample(),
             Event::Fail(i) => self.on_failure(i),
+            Event::PlannedFault(i) => self.on_planned_fault(i),
             Event::GlobalRecover => {
                 self.global_down = false;
             }
@@ -381,7 +433,10 @@ impl ServingSim {
 
     fn on_arrival(&mut self, index: usize) {
         if index + 1 < self.trace.requests.len() {
-            self.queue.push(
+            // High-rate open-loop traces duplicate timestamps at large fleet
+            // sizes; arrivals ride the same calendar buckets as step
+            // completions (DESIGN.md §7.4).
+            self.queue.push_coalesced(
                 self.trace.requests[index + 1].arrival,
                 Event::Arrival(index + 1),
             );
@@ -497,9 +552,21 @@ impl ServingSim {
         let Some((src, dst)) = self.coordinator.endpoints(mid) else {
             return; // Aborted earlier; stale event.
         };
+        let impaired = self.link_impaired(src) || self.link_impaired(dst);
         let Some((se, de)) = self.store.two_engines(src, dst) else {
             return;
         };
+        if impaired {
+            // The copy for this stage cannot complete over a dead link:
+            // abort at the stage boundary. (A commit whose final copy
+            // already finished still lands — only in-flight copies die.)
+            self.coordinator.abort(mid, se, de, AbortReason::LinkFailed);
+            self.fault_stats.aborts_link_failed += 1;
+            self.kick(dst);
+            self.kick(src);
+            self.continue_pair(src);
+            return;
+        }
         let outcome = self.coordinator.on_stage_done(mid, se, de, self.now);
         match outcome {
             Some(StageOutcome::NextStage { copy_done_at }) => {
@@ -575,6 +642,11 @@ impl ServingSim {
         if self.coordinator.is_migration_source(src) {
             return;
         }
+        if self.link_impaired(src) || self.link_impaired(dst) {
+            // No new migrations over a downed link; the pairing tick retries
+            // once the outage expires.
+            return;
+        }
         let Some(llumlet) = self.store.get(src) else {
             return;
         };
@@ -596,6 +668,11 @@ impl ServingSim {
     }
 
     fn on_sample(&mut self) {
+        // Expired fault effects cost a map probe per kick; drop them here so
+        // the maps stay proportional to the *active* fault set.
+        let now = self.now;
+        self.slow_until.retain(|_, &mut (until, _)| until > now);
+        self.link_down_until.retain(|_, &mut until| until > now);
         self.sample_timelines();
         self.autoscale();
         self.retry_undispatched();
@@ -639,22 +716,139 @@ impl ServingSim {
         if !self.store.contains(id) {
             return;
         }
-        // Abort migrations touching the failed instance first, handing the
-        // coordinator the surviving peers.
-        let mut peers = self.store.peers_mut(id);
-        let aborted_migrations = self.coordinator.abort_for_failed_instance(id, &mut peers);
-        drop(peers);
-        let llumlet = self.store.remove(id).expect("checked above");
-        self.index.remove(id);
-        self.pairs.remove(&id);
-        self.pairs.retain(|_, d| *d != id);
         // Requests resident on or queued at the failed instance abort (§5);
         // a request mid-migration *out of* it dies with it too, while one
         // migrating *into* it survives on its still-healthy source.
-        let lost = llumlet.engine.tracked_requests();
-        self.aborted += lost as u64;
-        let _ = aborted_migrations;
+        let lost = self.teardown_failed_instance(id);
+        self.aborted += lost.len() as u64;
         self.sample_instances();
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    fn on_planned_fault(&mut self, i: usize) {
+        if self.finished_serving() {
+            // The trace has drained: faults on an idle fleet are moot, and
+            // not re-arming here lets the event queue drain normally.
+            return;
+        }
+        if let Some(next) = self.config.fault_plan.get(i + 1) {
+            self.queue.push(next.at, Event::PlannedFault(i + 1));
+        }
+        let fault = *self.config.fault_plan.get(i).expect("plan index in range");
+        let Some(target) = self.fault_target(fault.target_rank) else {
+            return;
+        };
+        match fault.kind {
+            FaultKind::Crash { restart_after } => {
+                if self.store.len() <= 1 {
+                    // Never crash the last instance: the fleet must be able
+                    // to make progress. Counted so benches can reconcile.
+                    self.fault_stats.crashes_skipped += 1;
+                    return;
+                }
+                self.fault_stats.crashes += 1;
+                self.crash_instance(target);
+                if let Some(delay) = restart_after {
+                    self.queue.push(self.now + delay, Event::InstanceRestart);
+                }
+            }
+            FaultKind::Slowdown { factor, duration } => {
+                self.fault_stats.slowdowns += 1;
+                let until = self.now + duration;
+                let entry = self
+                    .slow_until
+                    .entry(target)
+                    .or_insert((SimTime::ZERO, 1.0));
+                // Overlapping slowdowns: keep the later expiry and the worse
+                // factor.
+                entry.0 = entry.0.max(until);
+                if factor > entry.1 {
+                    entry.1 = factor;
+                }
+            }
+            FaultKind::LinkFailure { duration } => {
+                self.fault_stats.link_failures += 1;
+                let until = self.now + duration;
+                let entry = self.link_down_until.entry(target).or_insert(SimTime::ZERO);
+                *entry = (*entry).max(until);
+            }
+        }
+    }
+
+    /// Resolves a planned fault's abstract rank against the live roster:
+    /// insertion-order walk, modulo the current fleet size. Keeps the plan
+    /// itself fleet-agnostic while the pick stays fully deterministic.
+    fn fault_target(&self, rank: u64) -> Option<InstanceId> {
+        let order = self.store.order();
+        if order.is_empty() {
+            return None;
+        }
+        Some(order[(rank % order.len() as u64) as usize])
+    }
+
+    /// True while `id`'s migration link is down.
+    fn link_impaired(&self, id: InstanceId) -> bool {
+        self.link_down_until
+            .get(&id)
+            .is_some_and(|&until| self.now < until)
+    }
+
+    /// Kills `id` as a planned crash. Unlike the scripted [`FailureSpec`]
+    /// abort semantics, the requests the instance held are re-dispatched
+    /// through the main dispatcher — same round-robin state and
+    /// priority-class routing as a fresh arrival, against freshly recomputed
+    /// virtual usage — and only abort if no dispatch target exists.
+    fn crash_instance(&mut self, id: InstanceId) {
+        let metas = self.teardown_failed_instance(id);
+        self.fault_stats.requests_lost += metas.len() as u64;
+        for meta in metas {
+            self.crash_lost_at.insert(meta.id.0, self.now);
+            if self.redispatch(meta) {
+                self.fault_stats.requests_redispatched += 1;
+            } else {
+                self.fault_stats.requests_lost_aborted += 1;
+                self.crash_lost_at.remove(&meta.id.0);
+            }
+        }
+        self.sample_instances();
+    }
+
+    /// Shared dead-instance teardown: aborts in-flight migrations touching
+    /// `id` via the Figure 7 failure paths (counting each abort reason),
+    /// evicts it from the dispatch index, the pairing table, and the fault
+    /// maps, and returns the metas of every request it held — running batch,
+    /// pending prefills, queue, and draining set — in the engine's
+    /// deterministic roster order.
+    fn teardown_failed_instance(&mut self, id: InstanceId) -> Vec<RequestMeta> {
+        let mut peers = self.store.peers_mut(id);
+        let aborted_migrations = self.coordinator.abort_for_failed_instance(id, &mut peers);
+        drop(peers);
+        for (_, _, reason) in &aborted_migrations {
+            match reason {
+                AbortReason::SourceFailed => self.fault_stats.aborts_source_failed += 1,
+                AbortReason::DestinationFailed => self.fault_stats.aborts_destination_failed += 1,
+                _ => {}
+            }
+        }
+        let llumlet = self.store.remove(id).expect("teardown of live instance");
+        self.index.remove(id);
+        self.pairs.remove(&id);
+        self.pairs.retain(|_, d| *d != id);
+        self.slow_until.remove(&id);
+        self.link_down_until.remove(&id);
+        llumlet
+            .engine
+            .tracked_ids()
+            .iter()
+            .map(|&rid| {
+                llumlet
+                    .engine
+                    .state(rid)
+                    .expect("tracked id has state")
+                    .meta
+            })
+            .collect()
     }
 
     // ---- helpers -----------------------------------------------------------
@@ -750,6 +944,13 @@ impl ServingSim {
             } else {
                 self.stalls_acc.observe(0.0);
             }
+            // A straggling instance stretches its whole step (compute and
+            // any stall) by the slowdown factor until the fault expires.
+            if let Some(&(until, factor)) = self.slow_until.get(&id) {
+                if self.now < until {
+                    finish = self.now + finish.since(self.now).mul_f64(factor);
+                }
+            }
             // Step completions dominate the event volume and pile up on the
             // same microsecond in large fleets; route them through the
             // calendar tier so same-time completions share one bucket.
@@ -778,6 +979,13 @@ impl ServingSim {
                 continue;
             }
             debug_assert!(state.first_token_at.is_some(), "completed without prefill");
+            if let Some(lost_at) = self.crash_lost_at.remove(&state.meta.id.0) {
+                // Recovery latency: from the crash that lost the request to
+                // its first token after redispatch (fresh queueing+prefill).
+                let first = state.first_token_at.expect("checked above");
+                self.recovery_acc
+                    .observe(first.since(lost_at).as_secs_f64());
+            }
             let record = self.to_record(&state);
             self.makespan = self.makespan.max(state.finished_at.unwrap_or(self.now));
             self.records.push(record);
@@ -951,10 +1159,11 @@ impl ServingSim {
         self.maybe_finish_termination(id);
     }
 
-    /// Re-dispatches a request aborted off a terminating instance through
-    /// the sim's main dispatcher — same round-robin state, same
+    /// Re-dispatches a request aborted off a terminating or crashed instance
+    /// through the sim's main dispatcher — same round-robin state, same
     /// priority-class routing rule as a fresh arrival of that request.
-    fn redispatch(&mut self, meta: RequestMeta) {
+    /// Returns whether a dispatch target existed.
+    fn redispatch(&mut self, meta: RequestMeta) -> bool {
         let high = self.config.scheduler.uses_priorities() && self.high_ids.contains(&meta.id.0);
         if let Some(target) = self.dispatch_target(high) {
             self.store
@@ -963,9 +1172,11 @@ impl ServingSim {
                 .engine
                 .add_request(meta, self.now);
             self.kick(target);
+            true
         } else {
             // No instance available: treat as aborted.
             self.aborted += 1;
+            false
         }
     }
 
@@ -1325,6 +1536,226 @@ mod tests {
                 .tracked_requests(),
             2,
             "high-priority redispatch must use the headroom-free rule"
+        );
+    }
+
+    fn churn_plan(seed: u64, crash_rate: f64) -> FaultPlan {
+        let cfg = llumnix_faults::FaultPlanConfig::none()
+            .with_crashes(crash_rate, Some(SimDuration::from_secs(2)))
+            .with_horizon(SimDuration::from_secs(600));
+        FaultPlan::generate(&cfg, &SimRng::new(seed))
+    }
+
+    #[test]
+    fn planned_crashes_redispatch_instead_of_aborting() {
+        let trace = tiny_trace(200, 5.0, 21);
+        // ~1 crash per 4 simulated seconds over a ~40 s trace.
+        let cfg = tiny_config(SchedulerKind::Llumnix, 3).with_faults(churn_plan(21, 900.0));
+        let out = run_serving(cfg, trace.clone());
+        assert_all_complete(trace.len(), &out);
+        let fs = &out.fault_stats;
+        assert!(fs.crashes > 0, "plan should fire crashes: {fs:?}");
+        assert!(fs.requests_lost > 0, "crashes should lose requests");
+        assert!(fs.consistent(), "lost ledger must balance: {fs:?}");
+        // With a 3-instance fleet and 2 s restarts a dispatch target always
+        // exists, so every lost request recovers instead of aborting.
+        assert_eq!(fs.requests_lost_aborted, 0);
+        assert_eq!(out.aborted, 0, "redispatch path must not abort");
+        assert!(
+            fs.recovery_latency.count as u64 <= fs.requests_redispatched,
+            "recoveries cannot exceed redispatches"
+        );
+        assert!(
+            fs.failure_aborts() <= out.migration_stats.aborted,
+            "failure aborts are a subset of all migration aborts"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let trace = tiny_trace(200, 6.0, 22);
+        let plan = {
+            let cfg = llumnix_faults::FaultPlanConfig::none()
+                .with_crashes(600.0, Some(SimDuration::from_secs(2)))
+                .with_slowdowns(1200.0, (2.0, 3.0), SimDuration::from_secs(5))
+                .with_link_failures(600.0, SimDuration::from_secs(2))
+                .with_horizon(SimDuration::from_secs(600));
+            FaultPlan::generate(&cfg, &SimRng::new(22))
+        };
+        let run = || {
+            run_serving(
+                tiny_config(SchedulerKind::Llumnix, 3).with_faults(plan.clone()),
+                trace.clone(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(
+            !a.fault_stats.quiet(),
+            "faults should fire: {:?}",
+            a.fault_stats
+        );
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finish, y.finish);
+            assert_eq!(x.migrations, y.migrations);
+        }
+    }
+
+    #[test]
+    fn slowdowns_stretch_latency() {
+        let trace = tiny_trace(200, 5.0, 23);
+        // Round-robin: no migrations, so a straggler cannot shed load and
+        // the stretch must show up in end-to-end latency.
+        let base = run_serving(tiny_config(SchedulerKind::RoundRobin, 3), trace.clone());
+        let cfg = llumnix_faults::FaultPlanConfig::none()
+            .with_slowdowns(1800.0, (2.5, 3.5), SimDuration::from_secs(10))
+            .with_horizon(SimDuration::from_secs(600));
+        let plan = FaultPlan::generate(&cfg, &SimRng::new(23));
+        let slowed = run_serving(
+            tiny_config(SchedulerKind::RoundRobin, 3).with_faults(plan),
+            trace.clone(),
+        );
+        assert_all_complete(trace.len(), &slowed);
+        assert!(slowed.fault_stats.slowdowns > 0);
+        assert_eq!(slowed.fault_stats.crashes, 0);
+        let mean = |o: &ServingOutput| {
+            o.records
+                .iter()
+                .map(|r| r.finish.since(r.arrival).as_secs_f64())
+                .sum::<f64>()
+                / o.records.len() as f64
+        };
+        assert!(
+            mean(&slowed) > mean(&base),
+            "stragglers must stretch mean e2e latency ({} vs {})",
+            mean(&slowed),
+            mean(&base)
+        );
+    }
+
+    #[test]
+    fn link_failures_abort_inflight_migrations() {
+        // Heavy migration pressure + frequent long link outages: some stage
+        // events must land while a link is down.
+        let trace = tiny_trace(300, 8.0, 24);
+        let cfg = llumnix_faults::FaultPlanConfig::none()
+            .with_link_failures(3600.0, SimDuration::from_secs(2))
+            .with_horizon(SimDuration::from_secs(600));
+        let plan = FaultPlan::generate(&cfg, &SimRng::new(24));
+        let out = run_serving(
+            tiny_config(SchedulerKind::Llumnix, 4).with_faults(plan),
+            trace.clone(),
+        );
+        assert_all_complete(trace.len(), &out);
+        assert!(out.fault_stats.link_failures > 0);
+        assert!(out.fault_stats.failure_aborts() <= out.migration_stats.aborted);
+    }
+
+    /// Drives the stage-boundary LinkFailed abort deterministically: start a
+    /// migration, kill the link mid-copy, and deliver the stage event.
+    #[test]
+    fn downed_link_aborts_migration_at_stage_boundary() {
+        let trace = tiny_trace(3, 0.1, 26);
+        let mut sim = ServingSim::new(tiny_config(SchedulerKind::Llumnix, 2), trace);
+        let e = &mut sim.store.get_mut(InstanceId(0)).expect("live").engine;
+        e.add_request(
+            RequestMeta {
+                id: RequestId(950),
+                input_len: 128,
+                output_len: 64,
+                priority: PriorityPair::NORMAL,
+                arrival: SimTime::ZERO,
+            },
+            SimTime::ZERO,
+        );
+        let p = e.poll_step(SimTime::ZERO).expect("prefill");
+        e.complete_step(p.finish_at());
+        sim.pairs.insert(InstanceId(0), InstanceId(1));
+        sim.continue_pair(InstanceId(0));
+        assert_eq!(sim.coordinator.active_count(), 1, "migration started");
+        // The first stage's copy is now in flight; the destination's link
+        // dies before it completes.
+        sim.link_down_until
+            .insert(InstanceId(1), SimTime::from_secs(3600));
+        let (at, ev) = sim.queue.pop().expect("stage event queued");
+        sim.now = at;
+        sim.handle(ev);
+        assert_eq!(sim.coordinator.active_count(), 0, "migration aborted");
+        assert_eq!(sim.fault_stats.aborts_link_failed, 1);
+        // And no new migration starts while the link is down.
+        sim.continue_pair(InstanceId(0));
+        assert_eq!(sim.coordinator.active_count(), 0);
+    }
+
+    /// Satellite regression (guards the PR 2 `redispatch` fix under the new
+    /// failure path): a crashed instance's queued + running requests are
+    /// redispatched exactly once each, with their priority class preserved.
+    #[test]
+    fn crashed_instance_redispatches_exactly_once_with_priority() {
+        let trace = tiny_trace(3, 0.1, 25);
+        let mut sim = ServingSim::new(tiny_config(SchedulerKind::Llumnix, 3), trace);
+        sim.high_ids.insert(901);
+        let add = |sim: &mut ServingSim, id: u64, pr: PriorityPair, run_prefill: bool| {
+            let e = &mut sim.store.get_mut(InstanceId(0)).expect("live").engine;
+            e.add_request(
+                RequestMeta {
+                    id: RequestId(id),
+                    input_len: 64,
+                    output_len: 32,
+                    priority: pr,
+                    arrival: SimTime::ZERO,
+                },
+                SimTime::ZERO,
+            );
+            if run_prefill {
+                let p = e.poll_step(SimTime::ZERO).expect("prefill");
+                e.complete_step(p.finish_at());
+            }
+        };
+        // One running (post-prefill) high-priority request and one queued
+        // normal request, both on the doomed instance.
+        add(&mut sim, 901, PriorityPair::HIGH, true);
+        add(&mut sim, 900, PriorityPair::NORMAL, false);
+        sim.fault_stats.crashes += 1;
+        sim.crash_instance(InstanceId(0));
+
+        assert!(
+            !sim.store.contains(InstanceId(0)),
+            "crashed instance evicted"
+        );
+        let fs = &sim.fault_stats;
+        assert_eq!(fs.requests_lost, 2, "both resident requests lost");
+        assert_eq!(fs.requests_redispatched, 2);
+        assert_eq!(fs.requests_lost_aborted, 0);
+        assert!(fs.consistent());
+        for id in [900u64, 901] {
+            let holders: Vec<InstanceId> = sim
+                .store
+                .iter()
+                .filter(|(_, l)| l.engine.state(RequestId(id)).is_some())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holders.len(), 1, "request {id} must live exactly once");
+        }
+        let high_holder = sim
+            .store
+            .iter()
+            .find(|(_, l)| l.engine.state(RequestId(901)).is_some())
+            .expect("redispatched");
+        assert_eq!(
+            high_holder
+                .1
+                .engine
+                .state(RequestId(901))
+                .expect("state")
+                .meta
+                .priority,
+            PriorityPair::HIGH,
+            "priority class preserved across redispatch"
         );
     }
 

@@ -791,6 +791,37 @@ impl InstanceEngine {
         self.states.len()
     }
 
+    /// Every live request the engine tracks, in a deterministic redispatch
+    /// order: the running batch, then pending prefills, then the queue, then
+    /// anything else (draining or swapped states) in ascending id order.
+    /// Covers exactly the [`tracked_requests`](Self::tracked_requests) set —
+    /// the roster a failure handler must account for when the instance dies.
+    pub fn tracked_ids(&self) -> Vec<RequestId> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out: Vec<RequestId> = Vec::with_capacity(self.states.len());
+        for id in self
+            .running
+            .iter()
+            .chain(self.prefill_pending.iter())
+            .copied()
+            .chain(self.waiting.iter())
+        {
+            if seen.insert(id) {
+                out.push(id);
+            }
+        }
+        let mut rest: Vec<RequestId> = self
+            .states
+            .keys() // lint: allow(unordered-iter) — sorted before returning
+            .filter(|id| !seen.contains(id))
+            .copied()
+            .collect();
+        rest.sort_unstable();
+        out.extend(rest);
+        debug_assert_eq!(out.len(), self.states.len(), "tracked_ids missed a state");
+        out
+    }
+
     /// Ids currently drained out of the batch for a final migration stage,
     /// in ascending id order.
     pub fn draining_ids(&self) -> Vec<RequestId> {

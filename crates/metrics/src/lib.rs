@@ -6,6 +6,7 @@
 //! * [`LatencyReport`] — one experiment arm's full latency table;
 //! * [`TimeSeries`] — cluster metrics over time (fragmentation, instance
 //!   count) for Figures 5, 12, 14 and 15;
+//! * [`FaultStats`] — failure/recovery counters for fault-injection runs;
 //! * [`Table`] and JSON helpers for the benchmark binaries' output.
 
 #![warn(missing_docs)]
@@ -13,6 +14,7 @@
 #![deny(rust_2018_idioms)]
 
 mod aggregate;
+mod faults;
 mod percentile;
 mod plot;
 mod report;
@@ -21,6 +23,7 @@ mod streaming;
 mod timeline;
 
 pub use aggregate::LatencyReport;
+pub use faults::FaultStats;
 pub use percentile::{percentile, Summary};
 pub use plot::{sparkline, sparkline_annotated, to_csv};
 pub use report::{fmt_ratio, fmt_secs, to_json, Table};

@@ -29,6 +29,8 @@ pub enum AbortReason {
     SourceFailed,
     /// The destination instance failed.
     DestinationFailed,
+    /// The migration link between source and destination went down.
+    LinkFailed,
 }
 
 impl core::fmt::Display for AbortReason {
@@ -40,6 +42,7 @@ impl core::fmt::Display for AbortReason {
             AbortReason::RequestNotMigratable => "request not migratable",
             AbortReason::SourceFailed => "source instance failed",
             AbortReason::DestinationFailed => "destination instance failed",
+            AbortReason::LinkFailed => "migration link failed",
         };
         f.write_str(s)
     }

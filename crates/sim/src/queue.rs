@@ -351,4 +351,55 @@ mod tests {
             }
         }
     }
+
+    /// Arrival-shaped stream: an open-loop trace pushes monotone
+    /// non-decreasing timestamps with bursts of exact collisions (high-rate
+    /// traces at 1024+ instances quantize onto shared microseconds). Arrivals
+    /// ride the coalesced tier while step-completion-style events hit the
+    /// heap at scattered future times; pops must match a plain single-heap
+    /// queue byte for byte. (In debug builds every pop is additionally
+    /// cross-checked against the internal shadow heap.)
+    #[test]
+    fn bursty_arrival_stream_matches_plain_queue() {
+        let mut mixed = EventQueue::new();
+        let mut plain = EventQueue::new();
+        let mut x = 0xdeadbeefcafef00du64;
+        let mut step = |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m
+        };
+        let mut now = 0u64;
+        let mut payload = 0u64;
+        for _ in 0..500 {
+            // A burst of 1–8 arrivals sharing one timestamp.
+            now += step(50);
+            let at = SimTime::from_micros(now);
+            for _ in 0..=step(8) {
+                mixed.push_coalesced(at, payload);
+                plain.push(at, payload);
+                payload += 1;
+            }
+            // A few step completions at scattered future instants.
+            for _ in 0..step(3) {
+                let f = SimTime::from_micros(now + 1 + step(100));
+                mixed.push(f, payload);
+                plain.push(f, payload);
+                payload += 1;
+            }
+            // Drain everything due strictly before the burst's instant, the
+            // way the serving loop drains between arrivals.
+            while plain.peek_time().is_some_and(|t| t < at) {
+                assert_eq!(mixed.pop(), plain.pop());
+            }
+        }
+        loop {
+            let (a, b) = (mixed.pop(), plain.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
 }

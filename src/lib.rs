@@ -41,6 +41,7 @@
 //! | [`model`] | calibrated cost/memory/transfer models (LLaMA on A10) |
 //! | [`engine`] | vLLM-like instance engine |
 //! | [`migration`] | live-migration coordinator and baselines |
+//! | [`faults`] | seeded fault plans: crashes, stragglers, link outages |
 //! | [`core`] | virtual usage, llumlets, global scheduling, serving sim |
 //! | [`workload`] | Table 1 length distributions, arrivals, traces |
 //! | [`metrics`] | records, percentiles, timelines, reports |
@@ -50,6 +51,7 @@
 
 pub use llumnix_core as core;
 pub use llumnix_engine as engine;
+pub use llumnix_faults as faults;
 pub use llumnix_metrics as metrics;
 pub use llumnix_migration as migration;
 pub use llumnix_model as model;
@@ -59,8 +61,8 @@ pub use llumnix_workload as workload;
 /// The most common imports for building experiments.
 pub mod prelude {
     pub use llumnix_core::{
-        run_serving, AutoScaleConfig, FailureSpec, HeadroomConfig, MigrationThresholds,
-        SchedulerKind, ServingConfig, ServingOutput, ServingSim,
+        run_serving, AutoScaleConfig, FailureSpec, FaultPlan, FaultPlanConfig, HeadroomConfig,
+        MigrationThresholds, SchedulerKind, ServingConfig, ServingOutput, ServingSim,
     };
     pub use llumnix_engine::{EngineConfig, InstanceId, Priority, PriorityPair, RequestId};
     pub use llumnix_metrics::{

@@ -45,8 +45,15 @@ use lexer::{lex, Token, TokenKind};
 /// strict rules apply here. `bench` (wall-clock measurement) and `metrics`
 /// (post-hoc aggregation) are exempt from the simulation-path rules but
 /// still checked for `unsafe` and serialized hash containers.
-pub const DETERMINISTIC_CRATES: &[&str] =
-    &["core", "engine", "migration", "model", "sim", "workload"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "core",
+    "engine",
+    "faults",
+    "migration",
+    "model",
+    "sim",
+    "workload",
+];
 
 /// The one file allowed to order floats directly: it defines the lossless
 /// `order_key` encoding every other ordering must go through.
