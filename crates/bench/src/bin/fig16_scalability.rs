@@ -17,6 +17,11 @@
 //! sampling/migration ticks (2× at 512, 4× at 1024) and coalesces
 //! same-microsecond step completions, so wall-clock cost per simulated
 //! event stays flat while the schedule below 512 is bit-for-bit unchanged.
+//!
+//! `--shards N` runs every arm on the conservative time-windowed sharded
+//! core (DESIGN.md §10); the output is byte-identical at any `N`. `--huge`
+//! appends 4096- and 10 240-instance arms, which are only affordable with
+//! sharding on.
 
 use llumnix_bench::{run_arms, ArmResult, ArmSpec, BenchOpts};
 use llumnix_core::{SchedulerKind, ServingConfig};
@@ -26,18 +31,37 @@ use llumnix_workload::{Arrivals, FixedLength, LengthDist, TraceSpec};
 
 fn main() {
     let opts = BenchOpts::from_args();
+    // `--huge` extends the sweep past the doubling ladder to 4096 and 10 240
+    // instances. Those fleets only fit the wall-clock budget on the sharded
+    // windowed core, so they live behind the flag (pass `--shards` too) and
+    // scale the per-fleet request count sub-linearly.
+    let huge = std::env::args().any(|a| a == "--huge");
     // (fleet size, arrival rates): the paper's rate sweep at 64 instances,
-    // then the peak per-instance rate carried to doubled fleets.
-    let sweep: [(usize, &[f64]); 5] = [
-        (64, &[150.0, 300.0, 450.0, 550.0]),
-        (128, &[1_100.0]),
-        (256, &[2_200.0]),
-        (512, &[4_400.0]),
-        (1024, &[8_800.0]),
+    // then the peak per-instance rate (550/64 ≈ 8.6 req/s) carried to the
+    // larger fleets.
+    let mut sweep: Vec<(usize, Vec<f64>)> = vec![
+        (64, vec![150.0, 300.0, 450.0, 550.0]),
+        (128, vec![1_100.0]),
+        (256, vec![2_200.0]),
+        (512, vec![4_400.0]),
+        (1024, vec![8_800.0]),
     ];
+    if huge {
+        sweep.push((4_096, vec![35_200.0]));
+        sweep.push((10_240, vec![88_000.0]));
+    }
     let mut arms: Vec<ArmSpec> = Vec::new();
-    for (instances, rates) in sweep {
-        let n = opts.scaled(20_000 * instances / 64);
+    for (instances, rates) in &sweep {
+        let instances = *instances;
+        // Request counts grow with the fleet up to 1024 (≈ 312 requests per
+        // instance, the paper's steady-state shape); the huge arms probe
+        // scheduler scaling rather than steady state and hold 32 requests
+        // per instance so they fit the nightly budget.
+        let n = opts.scaled(if instances > 1024 {
+            32 * instances
+        } else {
+            20_000 * instances / 64
+        });
         for &rate in rates {
             for kind in [SchedulerKind::Centralized, SchedulerKind::Llumnix] {
                 let spec = TraceSpec::new(
@@ -48,7 +72,7 @@ fn main() {
                     LengthDist::Fixed(FixedLength(64)),
                 );
                 arms.push(ArmSpec {
-                    config: ServingConfig::new(kind, instances as u32),
+                    config: opts.sharded(ServingConfig::new(kind, instances as u32)),
                     trace: spec.generate(&SimRng::new(opts.seed)),
                     rate,
                     cv: 1.0,

@@ -69,7 +69,11 @@ struct ChurnRow {
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let fleets: [(usize, &[SchedulerKind]); 4] = [
+    // `--huge` appends 4096- and 10 240-instance Llumnix arms (affordable
+    // only on the sharded windowed core — pass `--shards` too); `--shards N`
+    // runs every arm windowed, byte-identical at any `N`.
+    let huge = std::env::args().any(|a| a == "--huge");
+    let mut fleets: Vec<(usize, &[SchedulerKind])> = vec![
         (64, &[SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix]),
         (
             256,
@@ -78,11 +82,15 @@ fn main() {
         (512, &[SchedulerKind::Llumnix]),
         (1024, &[SchedulerKind::Llumnix]),
     ];
+    if huge {
+        fleets.push((4_096, &[SchedulerKind::Llumnix]));
+        fleets.push((10_240, &[SchedulerKind::Llumnix]));
+    }
 
     let mut arms: Vec<ArmSpec> = Vec::new();
     // Parallel to `arms`: (fleet, profile label, planned crash count, n).
     let mut meta: Vec<(usize, &str, usize, usize)> = Vec::new();
-    for (fleet, kinds) in fleets {
+    for (fleet, kinds) in fleets.clone() {
         let n = opts.scaled(1_000 * fleet / 64);
         let rate = RATE_PER_INSTANCE * fleet as f64;
         for (profile, per_inst) in PROFILES {
@@ -98,9 +106,11 @@ fn main() {
                 let mut scale_cfg = AutoScaleConfig::paper_default(fleet as u32);
                 scale_cfg.min_instances = (fleet / 8).max(1) as u32;
                 arms.push(ArmSpec {
-                    config: ServingConfig::new(kind, (fleet / 4) as u32)
-                        .with_autoscale(scale_cfg)
-                        .with_faults(plan.clone()),
+                    config: opts.sharded(
+                        ServingConfig::new(kind, (fleet / 4) as u32)
+                            .with_autoscale(scale_cfg)
+                            .with_faults(plan.clone()),
+                    ),
                     trace: build_trace("L-L", n, Arrivals::gamma(rate, 4.0), 0.0, opts.seed),
                     rate,
                     cv: 4.0,

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use llumnix_core::{run_serving, SchedulerKind, ServingConfig, ServingOutput};
+use llumnix_core::{run_serving, SchedulerKind, ServingConfig, ServingOutput, ShardConfig};
 use llumnix_metrics::LatencyReport;
 use llumnix_sim::SimRng;
 use llumnix_workload::{presets, Arrivals, Trace};
@@ -36,6 +36,12 @@ pub struct BenchOpts {
     /// Canonical output mode (`--canonical`): zero out the wall-clock field
     /// so result files are byte-identical across runs and thread counts.
     pub canonical: bool,
+    /// Shard count for the windowed sharded core (`--shards N`), if given.
+    /// The windowed schedule is identical at every shard count (including
+    /// 1), but deliberately differs from the classic unsharded loop — so
+    /// determinism cross-checks compare `--shards 1` against `--shards 4`,
+    /// never against a run without the flag.
+    pub shards: Option<usize>,
 }
 
 /// Parses the value following a flag, exiting with a clear diagnostic when the
@@ -59,8 +65,8 @@ where
 }
 
 impl BenchOpts {
-    /// Parses `--seed`, `--json`, `--scale`, `--threads`, and `--canonical`
-    /// from `std::env::args`.
+    /// Parses `--seed`, `--json`, `--scale`, `--threads`, `--canonical`, and
+    /// `--shards` from `std::env::args`.
     ///
     /// Malformed or missing values for these flags abort with exit code 2.
     /// Unrecognized arguments are left alone — individual binaries consume
@@ -72,6 +78,7 @@ impl BenchOpts {
             scale: 1.0,
             threads: None,
             canonical: false,
+            shards: None,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -113,6 +120,15 @@ impl BenchOpts {
                     set_canonical_output(true);
                     i += 1;
                 }
+                "--shards" => {
+                    let shards: usize = parse_flag_value(&args, i, "--shards");
+                    if shards == 0 {
+                        eprintln!("error: --shards must be at least 1");
+                        std::process::exit(2);
+                    }
+                    opts.shards = Some(shards);
+                    i += 2;
+                }
                 _ => i += 1,
             }
         }
@@ -122,6 +138,16 @@ impl BenchOpts {
     /// Applies the scale factor to a request count.
     pub fn scaled(&self, n: usize) -> usize {
         ((n as f64 * self.scale) as usize).max(10)
+    }
+
+    /// Applies `--shards` to a serving configuration: with `--shards N` the
+    /// run uses the conservative time-windowed sharded core at `N` shards;
+    /// without it the classic single-queue loop runs untouched.
+    pub fn sharded(&self, config: ServingConfig) -> ServingConfig {
+        match self.shards {
+            Some(k) => config.with_shards(ShardConfig::new(k)),
+            None => config,
+        }
     }
 
     /// Writes rows as JSON if `--json` was given.
@@ -384,6 +410,7 @@ mod tests {
             scale: 0.1,
             threads: None,
             canonical: false,
+            shards: None,
         };
         assert_eq!(opts.scaled(10_000), 1_000);
         assert_eq!(opts.scaled(50), 10, "floor at 10");

@@ -8,6 +8,16 @@
 //! it must synchronize; the stall an instance observes is the queueing delay
 //! plus its own service time. Llumnix's distributed llumlets do this work
 //! locally and report only instance-level metrics, so their stall is zero.
+//!
+//! The per-decision service time is *sub-linear* in the synchronized request
+//! count: status sync is batched into one round trip, so the marginal cost
+//! per request falls as the batch grows (amortized headers, vectorized
+//! bookkeeping). The earlier linear model was calibrated at the paper's
+//! 64-instance operating point (≈ 20 tracked requests per decision) and
+//! extrapolated linearly to the 128–1024-instance sweeps, overcharging big
+//! batches; the saturating curve below keeps the calibrated 64-instance
+//! behaviour while decisions at 4× the tracked count cost well under 4× as
+//! much (DESIGN.md §11 documents the fit against the fig16 arms).
 
 use llumnix_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -17,16 +27,48 @@ use serde::{Deserialize, Serialize};
 pub struct CentralSchedulerModel {
     /// Fixed cost per scheduling round trip (RPC + bookkeeping).
     pub base: SimDuration,
-    /// Marginal cost per request whose status must be synchronized.
+    /// Marginal cost per synchronized request at small batch sizes.
     pub per_request: SimDuration,
+    /// Amortization scale `s` of the saturating sync curve: a decision
+    /// synchronizing `t` requests pays for `t·s/(s+t)` of them (integer
+    /// arithmetic, so the curve is platform-exact). Marginal cost halves at
+    /// `t = s` and the sync term saturates at `per_request · s`. `0` turns
+    /// amortization off (the old linear extrapolation).
+    pub amortization_scale: u64,
+}
+
+fn default_amortization_scale() -> u64 {
+    256
 }
 
 impl Default for CentralSchedulerModel {
     fn default() -> Self {
+        // Calibrated so the whole *measured* 64-instance regime reproduces
+        // the old validated linear model: at the ≈ 20-tracked-requests
+        // anchor the old model charged 150 + 20 × 25 = 650 µs and this one
+        // charges 150 + ⌊20·256/276⌋ × 28 = 654 µs (+0.6 %); even at the
+        // regime's top (t = 64) the two stay within 10 %. Past it the
+        // curves split: at 256 tracked requests the linear model
+        // extrapolates to 6.55 ms while the amortized curve charges
+        // 3.73 ms (DESIGN.md §11 documents the fit).
         CentralSchedulerModel {
             base: SimDuration::from_micros(150),
-            per_request: SimDuration::from_micros(25),
+            per_request: SimDuration::from_micros(28),
+            amortization_scale: default_amortization_scale(),
         }
+    }
+}
+
+impl CentralSchedulerModel {
+    /// Service time of one decision synchronizing `tracked_requests`.
+    pub fn service_time(&self, tracked_requests: usize) -> SimDuration {
+        let t = tracked_requests as u64;
+        let amortized = if self.amortization_scale == 0 || t == 0 {
+            t
+        } else {
+            t * self.amortization_scale / (self.amortization_scale + t)
+        };
+        self.base + self.per_request * amortized
     }
 }
 
@@ -56,7 +98,7 @@ impl CentralScheduler {
     /// synchronizing `tracked_requests` request statuses. Returns the stall
     /// the instance observes before its step may start.
     pub fn request_decision(&mut self, now: SimTime, tracked_requests: usize) -> SimDuration {
-        let service = self.model.base + self.model.per_request * tracked_requests as u64;
+        let service = self.model.service_time(tracked_requests);
         let start = if self.free_at > now {
             self.free_at
         } else {
@@ -98,8 +140,9 @@ mod tests {
     fn idle_scheduler_costs_service_only() {
         let mut c = CentralScheduler::new(CentralSchedulerModel::default());
         let stall = c.request_decision(SimTime::from_secs(1), 20);
-        // 150 µs + 20 × 25 µs = 650 µs.
-        assert_eq!(stall, SimDuration::from_micros(650));
+        // 150 µs + ⌊20·256/276⌋ × 28 µs = 150 + 18 × 28 = 654 µs — within
+        // 1 % of the old linear model's 650 µs at the calibration anchor.
+        assert_eq!(stall, SimDuration::from_micros(654));
         assert_eq!(c.decisions(), 1);
     }
 
@@ -112,7 +155,7 @@ mod tests {
         let stalls: Vec<SimDuration> = (0..64).map(|_| c.request_decision(now, 20)).collect();
         assert!(stalls.windows(2).all(|w| w[0] < w[1]));
         let last = stalls.last().expect("non-empty");
-        assert_eq!(*last, SimDuration::from_micros(650 * 64));
+        assert_eq!(*last, SimDuration::from_micros(654 * 64));
         assert!(
             last.as_millis_f64() > 40.0,
             "64-way contention should stall tens of ms, got {last}"
@@ -123,12 +166,41 @@ mod tests {
     #[test]
     fn drains_when_spread_out() {
         let mut c = CentralScheduler::new(CentralSchedulerModel::default());
-        // Requests 10 ms apart never queue.
+        // Requests 10 ms apart never queue: stall = service(10) =
+        // 150 + ⌊10·256/266⌋ × 28 = 150 + 9 × 28 = 402 µs.
         for i in 0..10 {
             let stall = c.request_decision(SimTime::from_millis(10 * i), 10);
-            assert_eq!(stall, SimDuration::from_micros(400));
+            assert_eq!(stall, SimDuration::from_micros(402));
         }
-        assert_eq!(c.mean_stall(), SimDuration::from_micros(400));
+        assert_eq!(c.mean_stall(), SimDuration::from_micros(402));
+    }
+
+    #[test]
+    fn sync_cost_is_sublinear_and_saturates() {
+        let m = CentralSchedulerModel::default();
+        // Doubling the batch never doubles the sync term.
+        for t in [16usize, 32, 64, 128, 256, 512] {
+            let sync = |n: usize| m.service_time(n) - m.base;
+            assert!(
+                sync(2 * t) < sync(t) * 2,
+                "sync cost must be sub-linear at t={t}"
+            );
+        }
+        // Saturation bound: the sync term never exceeds per_request · s.
+        let cap = m.base + m.per_request * m.amortization_scale;
+        assert!(m.service_time(1_000_000) < cap);
+        // Monotone in t.
+        assert!(m.service_time(10) < m.service_time(11));
+        // scale = 0 restores the linear extrapolation.
+        let linear = CentralSchedulerModel {
+            amortization_scale: 0,
+            ..m
+        };
+        assert_eq!(
+            linear.service_time(256),
+            m.base + m.per_request * 256,
+            "scale 0 is the old linear model"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod index;
 mod llumlet;
 pub mod policy;
 mod serving;
+mod shard;
 pub mod store;
 pub mod virtual_usage;
 
@@ -31,6 +32,7 @@ pub use policy::{
     ScaleAction, SchedulerKind, VictimPolicy,
 };
 pub use serving::{run_serving, FailureSpec, ServingConfig, ServingOutput, ServingSim};
+pub use shard::ShardConfig;
 pub use store::InstanceStore;
 pub use virtual_usage::{
     engine_freeness, freeness, infaas_equivalent_freeness, infaas_memory_load, virtual_usage,

@@ -25,7 +25,7 @@ use llumnix_migration::{
     MigrationId, StageOutcome, StartOutcome,
 };
 use llumnix_model::InstanceSpec;
-use llumnix_sim::{EventQueue, SimDuration, SimTime};
+use llumnix_sim::{merge_windowed, EffectKey, EventQueue, ShardPool, SimDuration, SimTime};
 use llumnix_workload::Trace;
 
 use crate::central::{CentralScheduler, CentralSchedulerModel};
@@ -35,7 +35,9 @@ use crate::policy::{
     AutoScaleConfig, AutoScaler, Dispatcher, MigrationThresholds, ScaleAction, SchedulerKind,
     VictimPolicy,
 };
-use crate::store::InstanceStore;
+use crate::shard::{
+    drain_window, Effect, EffectCounts, ShardConfig, ShardState, ShardedFleet, WindowOutbox,
+};
 use crate::virtual_usage::{HeadroomConfig, QueuingRule};
 
 /// Injected failures (§5's fault-tolerance behaviours).
@@ -99,6 +101,13 @@ pub struct ServingConfig {
     pub fault_plan: FaultPlan,
     /// Hard wall-clock cap on the simulation (guards runaway configs).
     pub max_sim_time: SimTime,
+    /// Sharded windowed core (DESIGN.md §10). `None` keeps the classic
+    /// single-queue event loop; `Some` partitions the fleet into shards
+    /// synchronized by conservative time windows. The windowed schedule is
+    /// identical at every shard count (including 1), but differs from the
+    /// classic loop: the window barrier models the llumlet ↔ scheduler RPC
+    /// latency the classic loop idealizes to zero.
+    pub shard: Option<ShardConfig>,
 }
 
 impl ServingConfig {
@@ -124,6 +133,7 @@ impl ServingConfig {
             failures: Vec::new(),
             fault_plan: FaultPlan::empty(),
             max_sim_time: SimTime::from_secs(24 * 3600),
+            shard: None,
         }
     }
 
@@ -142,6 +152,12 @@ impl ServingConfig {
     /// Uses a different instance spec.
     pub fn with_spec(mut self, spec: InstanceSpec) -> Self {
         self.spec = spec;
+        self
+    }
+
+    /// Runs on the sharded windowed core instead of the classic loop.
+    pub fn with_shards(mut self, shard: ShardConfig) -> Self {
+        self.shard = Some(shard);
         self
     }
 }
@@ -178,6 +194,13 @@ pub struct ServingOutput {
     pub makespan: SimTime,
     /// Simulation events processed by the event loop (throughput metric).
     pub events_processed: u64,
+    /// Events on the serial critical path of the run: every coordinator
+    /// event, plus — per conservative window — only the *busiest* shard's
+    /// drained events (the others drain concurrently). The ratio
+    /// `events_processed / critical_path_events` is the machine-independent
+    /// upper bound on the wall-clock speedup of giving each shard its own
+    /// core; in classic (unsharded) mode the two counters are equal.
+    pub critical_path_events: u64,
     /// Failure/recovery accounting for the fault-injection subsystem.
     pub fault_stats: FaultStats,
 }
@@ -204,7 +227,7 @@ pub struct ServingSim {
     high_ids: BTreeSet<u64>,
     queue: EventQueue<Event>,
     now: SimTime,
-    store: InstanceStore,
+    store: ShardedFleet,
     index: DispatchIndex,
     /// Effective headroom config for this run (constant: derived from the
     /// scheduler kind and config only).
@@ -247,9 +270,8 @@ pub struct ServingSim {
     /// Request id → time of the crash that lost it (drained into
     /// `recovery_acc` when the redispatched request produces a token).
     crash_lost_at: BTreeMap<u64, SimTime>,
-    /// Straggling instances: id → (slowdown expiry, step-latency factor).
-    slow_until: BTreeMap<InstanceId, (SimTime, f64)>,
-    /// Instances whose migration link is down, and until when.
+    /// Instances whose migration link is down, and until when. Global (not
+    /// per-shard): link state gates migrations, which the coordinator runs.
     link_down_until: BTreeMap<InstanceId, SimTime>,
     high_batch_acc: SummaryAccumulator,
     order_scratch: Vec<InstanceId>,
@@ -258,6 +280,24 @@ pub struct ServingSim {
     /// fleet-size coarsening factor (see [`tick_scale`]). Constant for a run.
     sample_interval: SimDuration,
     migration_interval: SimDuration,
+    /// Windowed mode (DESIGN.md §10): `config.shard.is_some()`.
+    windowed: bool,
+    /// Conservative window length (the modeled llumlet ↔ scheduler RPC
+    /// latency). Zero in classic mode.
+    lookahead: SimDuration,
+    /// Drain windows on worker threads even on a single-CPU host.
+    force_parallel: bool,
+    /// Worker threads for parallel window drains (windowed mode with K > 1
+    /// on a multi-core host, or `force_parallel`).
+    pool: Option<ShardPool<ShardState, WindowOutbox>>,
+    /// Effects applied at barriers, by class (reconciled against the shards'
+    /// emission ledgers at teardown).
+    applied: EffectCounts,
+    /// Shard-local events folded into `events_processed` at barriers
+    /// (reconciled against the shards' own counts at teardown).
+    local_events_applied: u64,
+    /// See [`ServingOutput::critical_path_events`].
+    critical_path_events: u64,
 }
 
 /// Coarsening factor for the periodic sampling and migration ticks.
@@ -289,6 +329,14 @@ impl ServingSim {
             config.scheduler,
             config.autoscale.is_some(),
         ));
+        let (windowed, shard_count, lookahead, force_parallel) = match config.shard {
+            Some(sc) => {
+                assert!(sc.shards >= 1, "need at least one shard");
+                (true, sc.shards, sc.lookahead, sc.force_parallel)
+            }
+            None => (false, 1, SimDuration::ZERO, false),
+        };
+        let defer_steps = windowed && config.scheduler.has_central_stalls();
         let mut sim = ServingSim {
             coordinator: MigrationCoordinator::new(config.migration.clone()),
             central: CentralScheduler::new(config.central),
@@ -300,7 +348,7 @@ impl ServingSim {
             high_ids,
             queue: EventQueue::new(),
             now: SimTime::ZERO,
-            store: InstanceStore::new(),
+            store: ShardedFleet::new(shard_count, defer_steps),
             index,
             headroom,
             refresh_all,
@@ -325,11 +373,17 @@ impl ServingSim {
             fault_stats: FaultStats::default(),
             recovery_acc: SummaryAccumulator::new(),
             crash_lost_at: BTreeMap::new(),
-            slow_until: BTreeMap::new(),
             link_down_until: BTreeMap::new(),
             high_batch_acc: SummaryAccumulator::new(),
             order_scratch: Vec::new(),
             events_processed: 0,
+            windowed,
+            lookahead,
+            force_parallel,
+            pool: None,
+            applied: EffectCounts::default(),
+            local_events_applied: 0,
+            critical_path_events: 0,
         };
         for _ in 0..sim.config.initial_instances {
             sim.launch_instance(SimTime::ZERO, None);
@@ -342,6 +396,23 @@ impl ServingSim {
         if self.trace.is_empty() {
             return self.into_output();
         }
+        self.seed_events();
+        if self.windowed {
+            self.run_windowed();
+        } else {
+            while let Some((at, event)) = self.queue.pop() {
+                debug_assert!(at >= self.now, "time went backwards");
+                self.now = at;
+                if self.now > self.config.max_sim_time {
+                    break;
+                }
+                self.handle(event);
+            }
+        }
+        self.into_output()
+    }
+
+    fn seed_events(&mut self) {
         self.queue
             .push_coalesced(self.trace.requests[0].arrival, Event::Arrival(0));
         self.queue
@@ -365,18 +436,179 @@ impl ServingSim {
             // simulation alive.
             self.queue.push(first.at, Event::PlannedFault(0));
         }
-        while let Some((at, event)) = self.queue.pop() {
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            if self.now > self.config.max_sim_time {
-                break;
-            }
-            self.handle(event);
+    }
+
+    /// The windowed main loop (DESIGN.md §10): coordinator events interleave
+    /// with shard-local windows in global time order. Whenever the earliest
+    /// pending work is a shard-local step completion at `t`, a window
+    /// `[t, t + lookahead)` opens and every shard with work due inside it
+    /// drains concurrently; cross-shard consequences buffer per shard and
+    /// apply at the barrier in canonical key order. Coordinator events whose
+    /// time falls inside an already-opened window run after its barrier —
+    /// the coordinator → llumlet direction of the same modeled RPC latency.
+    fn run_windowed(&mut self) {
+        let k = self.store.shard_count();
+        let host_parallel =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1;
+        if k > 1 && (self.force_parallel || host_parallel) {
+            // K - 1 workers: the coordinator thread drains one due shard
+            // itself while the workers drain the rest. Whether the pool
+            // exists only changes which thread computes a drain, never the
+            // drain itself; inline and pooled runs produce the same bytes.
+            self.pool = Some(ShardPool::new(k - 1, drain_window));
         }
-        self.into_output()
+        loop {
+            let next_local = self.store.next_local_time();
+            let next_global = self.queue.peek_time();
+            let take_global = match (next_global, next_local) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                // Ties go to the coordinator: a global event at t can
+                // schedule local work at t, never the reverse (local work's
+                // cross-shard consequences ride the barrier).
+                (Some(g), Some(l)) => g <= l,
+            };
+            if take_global {
+                let (at, event) = self.queue.pop().expect("peeked above");
+                if at > self.config.max_sim_time {
+                    break;
+                }
+                // A global event inside the last window's horizon executes
+                // at the barrier time, not before it (time stays monotone).
+                self.now = self.now.max(at);
+                self.handle(event);
+            } else {
+                let start = next_local.expect("local side chosen");
+                if start > self.config.max_sim_time {
+                    break;
+                }
+                self.run_window(start + self.lookahead);
+            }
+        }
+    }
+
+    /// Drains one conservative window across every due shard and applies the
+    /// merged cross-shard effects at the barrier.
+    fn run_window(&mut self, window_end: SimTime) {
+        // Which shards have work due strictly before the window end is a
+        // global property of the schedule (per-instance queues and times),
+        // not of the partition — so window composition is shard-count
+        // independent.
+        let due: Vec<usize> = self
+            .store
+            .shard_states()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.queue.peek_time().is_some_and(|t| t < window_end))
+            .map(|(i, _)| i)
+            .collect();
+        let mut outboxes: Vec<WindowOutbox> = Vec::with_capacity(due.len());
+        match self.pool.as_ref() {
+            Some(pool) if due.len() >= 2 => {
+                let workers = pool.workers();
+                let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); workers];
+                for (j, &si) in due[1..].iter().enumerate() {
+                    let w = j % workers;
+                    let state = std::mem::take(self.store.shard_mut(si));
+                    pool.dispatch(w, state, window_end);
+                    per_worker[w].push(si);
+                }
+                outboxes.push(drain_window(self.store.shard_mut(due[0]), window_end));
+                for (w, shards) in per_worker.iter().enumerate() {
+                    for &si in shards {
+                        let (state, out) = pool.collect(w);
+                        *self.store.shard_mut(si) = state;
+                        outboxes.push(out);
+                    }
+                }
+            }
+            _ => {
+                for &si in &due {
+                    outboxes.push(drain_window(self.store.shard_mut(si), window_end));
+                }
+            }
+        }
+        let mut buffers = Vec::with_capacity(outboxes.len());
+        let mut busiest = 0u64;
+        for out in outboxes {
+            self.events_processed += out.events;
+            self.local_events_applied += out.events;
+            busiest = busiest.max(out.events);
+            // Zero-stall observations are order-free in the summary's float
+            // sum, so they fold here; nonzero stalls ride `StepPending`
+            // effects and land in canonical merge order.
+            for _ in 0..out.stall_zeros {
+                self.stalls_acc.observe(0.0);
+            }
+            buffers.push(out.effects);
+        }
+        // Shards drain concurrently: only the busiest one is on the run's
+        // serial critical path this window.
+        self.critical_path_events += busiest;
+        // The barrier: time advances to the window end (cross-shard effects
+        // land after the modeled RPC latency), then the merged effects apply
+        // in `(time, instance, emission)` order — identical at every K.
+        self.now = self.now.max(window_end);
+        for (key, effect) in merge_windowed(buffers) {
+            self.apply_effect(key, effect);
+        }
+    }
+
+    /// Applies one merged cross-shard effect at the window barrier.
+    fn apply_effect(&mut self, key: EffectKey, effect: Effect) {
+        self.applied.count(&effect);
+        let id = InstanceId(u32::try_from(key.entity).expect("entity is an instance id"));
+        match effect {
+            Effect::Finished(state) => self.apply_finished(state),
+            Effect::Engine(ev) => self.route_engine_event(id, ev),
+            Effect::HighBatch(batch) => self.high_batch_acc.observe(batch),
+            Effect::StepPending { tracked, finish } => {
+                // The central scheduler serves decision requests in canonical
+                // key order; its FIFO `free_at` carries queueing across
+                // windows, so decisions keep their poll-time spacing even
+                // though they are granted at the barrier.
+                let stall = self.central.request_decision(key.at, tracked);
+                self.stalls_acc.observe(stall.as_secs_f64());
+                let mut finish = finish + stall;
+                if let Some(factor) = self.store.slow_factor(id, key.at) {
+                    finish = key.at + finish.since(key.at).mul_f64(factor);
+                }
+                if self.store.contains(id) {
+                    // The grant reaches the llumlet no earlier than the
+                    // barrier (it rode the modeled RPC back): never schedule
+                    // into the already-drained window.
+                    self.store.push_local(id, finish.max(self.now));
+                }
+            }
+            Effect::CheckTermination => self.maybe_finish_termination(id),
+        }
     }
 
     fn into_output(self) -> ServingOutput {
+        if self.windowed {
+            // Barrier-teardown reconciliation (the sharded honest-accounting
+            // guard): the partition must be structurally sound and every
+            // effect the shards emitted must have been applied by the
+            // coordinator — the same ledger discipline the single-threaded
+            // run gets from executing everything in one place.
+            self.store.check_consistency();
+            assert_eq!(
+                self.store.emitted_totals(),
+                self.applied,
+                "cross-shard effect ledgers must reconcile at teardown"
+            );
+            assert_eq!(
+                self.store.local_events_total(),
+                self.local_events_applied,
+                "shard-local event counts must reconcile at teardown"
+            );
+            assert!(
+                self.fault_stats.consistent(),
+                "fault ledger inconsistent at shutdown: {:?}",
+                self.fault_stats
+            );
+        }
         // No leaked blocks: every surviving engine's per-request block ledger
         // must still reconcile with its allocator, crashes and aborts
         // included. Cheap (one pass per engine, once per run), so it is a
@@ -405,6 +637,7 @@ impl ServingSim {
             high_step_batches: self.high_batch_acc.finish(),
             makespan: self.makespan,
             events_processed: self.events_processed,
+            critical_path_events: self.critical_path_events,
             fault_stats,
         }
     }
@@ -413,6 +646,9 @@ impl ServingSim {
 
     fn handle(&mut self, event: Event) {
         self.events_processed += 1;
+        // Coordinator events are inherently serial; in classic mode this
+        // makes the critical path equal to `events_processed`.
+        self.critical_path_events += 1;
         match event {
             Event::Arrival(i) => self.on_arrival(i),
             Event::StepDone(id) => self.on_step_done(id),
@@ -517,33 +753,43 @@ impl ServingSim {
 
     fn route_engine_events(&mut self, id: InstanceId, events: Vec<EngineEvent>) {
         for ev in events {
-            match ev {
-                EngineEvent::FirstToken(_) => {}
-                EngineEvent::Finished(req) => {
-                    self.abort_migration_of(req, AbortReason::RequestFinished);
-                }
-                EngineEvent::Preempted(req) => {
-                    self.abort_migration_of(req, AbortReason::RequestPreempted);
-                }
-                EngineEvent::Drained(req) => {
-                    let llumlet = self.store.get_mut(id).expect("drain source alive");
-                    match self
-                        .coordinator
-                        .on_drained(req, &mut llumlet.engine, self.now)
-                    {
-                        Some((mid, commit_at)) => {
-                            self.queue.push(commit_at, Event::MigrationCommit(mid));
-                        }
-                        None => {
-                            // The migration that requested this drain was
-                            // aborted in the meantime; resume the request.
-                            llumlet.engine.undrain(req);
-                        }
+            self.route_engine_event(id, ev);
+        }
+    }
+
+    fn route_engine_event(&mut self, id: InstanceId, ev: EngineEvent) {
+        match ev {
+            EngineEvent::FirstToken(_) => {}
+            EngineEvent::Finished(req) => {
+                self.abort_migration_of(req, AbortReason::RequestFinished);
+            }
+            EngineEvent::Preempted(req) => {
+                self.abort_migration_of(req, AbortReason::RequestPreempted);
+            }
+            EngineEvent::Drained(req) => {
+                // A barrier-delivered drain can trail instance teardown; a
+                // gone instance means its migration already aborted with it
+                // (impossible in the classic loop, where the drain routes in
+                // the same event that produced it).
+                let Some(llumlet) = self.store.get_mut(id) else {
+                    return;
+                };
+                match self
+                    .coordinator
+                    .on_drained(req, &mut llumlet.engine, self.now)
+                {
+                    Some((mid, commit_at)) => {
+                        self.queue.push(commit_at, Event::MigrationCommit(mid));
+                    }
+                    None => {
+                        // The migration that requested this drain was
+                        // aborted in the meantime; resume the request.
+                        llumlet.engine.undrain(req);
                     }
                 }
-                EngineEvent::Aborted(_) => {
-                    self.aborted += 1;
-                }
+            }
+            EngineEvent::Aborted(_) => {
+                self.aborted += 1;
             }
         }
     }
@@ -671,7 +917,7 @@ impl ServingSim {
         // Expired fault effects cost a map probe per kick; drop them here so
         // the maps stay proportional to the *active* fault set.
         let now = self.now;
-        self.slow_until.retain(|_, &mut (until, _)| until > now);
+        self.store.slow_retain(now);
         self.link_down_until.retain(|_, &mut until| until > now);
         self.sample_timelines();
         self.autoscale();
@@ -755,17 +1001,9 @@ impl ServingSim {
             }
             FaultKind::Slowdown { factor, duration } => {
                 self.fault_stats.slowdowns += 1;
-                let until = self.now + duration;
-                let entry = self
-                    .slow_until
-                    .entry(target)
-                    .or_insert((SimTime::ZERO, 1.0));
                 // Overlapping slowdowns: keep the later expiry and the worse
                 // factor.
-                entry.0 = entry.0.max(until);
-                if factor > entry.1 {
-                    entry.1 = factor;
-                }
+                self.store.slow_apply(target, self.now + duration, factor);
             }
             FaultKind::LinkFailure { duration } => {
                 self.fault_stats.link_failures += 1;
@@ -835,7 +1073,7 @@ impl ServingSim {
         self.index.remove(id);
         self.pairs.remove(&id);
         self.pairs.retain(|_, d| *d != id);
-        self.slow_until.remove(&id);
+        self.store.slow_remove(id);
         self.link_down_until.remove(&id);
         llumlet
             .engine
@@ -946,15 +1184,19 @@ impl ServingSim {
             }
             // A straggling instance stretches its whole step (compute and
             // any stall) by the slowdown factor until the fault expires.
-            if let Some(&(until, factor)) = self.slow_until.get(&id) {
-                if self.now < until {
-                    finish = self.now + finish.since(self.now).mul_f64(factor);
-                }
+            if let Some(factor) = self.store.slow_factor(id, self.now) {
+                finish = self.now + finish.since(self.now).mul_f64(factor);
             }
             // Step completions dominate the event volume and pile up on the
             // same microsecond in large fleets; route them through the
-            // calendar tier so same-time completions share one bucket.
-            self.queue.push_coalesced(finish, Event::StepDone(id));
+            // calendar tier so same-time completions share one bucket (the
+            // owning shard's queue in windowed mode, the global queue
+            // otherwise).
+            if self.windowed {
+                self.store.push_local(id, finish);
+            } else {
+                self.queue.push_coalesced(finish, Event::StepDone(id));
+            }
         }
         let pending = self
             .store
@@ -974,23 +1216,29 @@ impl ServingSim {
         };
         let finished = llumlet.engine.take_finished();
         for state in finished {
-            if state.aborted {
-                // Counted via the Aborted event; no latency record.
-                continue;
-            }
-            debug_assert!(state.first_token_at.is_some(), "completed without prefill");
-            if let Some(lost_at) = self.crash_lost_at.remove(&state.meta.id.0) {
-                // Recovery latency: from the crash that lost the request to
-                // its first token after redispatch (fresh queueing+prefill).
-                let first = state.first_token_at.expect("checked above");
-                self.recovery_acc
-                    .observe(first.since(lost_at).as_secs_f64());
-            }
-            let record = self.to_record(&state);
-            self.makespan = self.makespan.max(state.finished_at.unwrap_or(self.now));
-            self.records.push(record);
+            self.apply_finished(state);
         }
         self.maybe_finish_termination(id);
+    }
+
+    /// Records one finished request — shared by the classic collection path
+    /// and the barrier's `Finished` effects.
+    fn apply_finished(&mut self, state: SeqState) {
+        if state.aborted {
+            // Counted via the Aborted event; no latency record.
+            return;
+        }
+        debug_assert!(state.first_token_at.is_some(), "completed without prefill");
+        if let Some(lost_at) = self.crash_lost_at.remove(&state.meta.id.0) {
+            // Recovery latency: from the crash that lost the request to
+            // its first token after redispatch (fresh queueing+prefill).
+            let first = state.first_token_at.expect("checked above");
+            self.recovery_acc
+                .observe(first.since(lost_at).as_secs_f64());
+        }
+        let record = self.to_record(&state);
+        self.makespan = self.makespan.max(state.finished_at.unwrap_or(self.now));
+        self.records.push(record);
     }
 
     fn to_record(&self, s: &SeqState) -> RequestRecord {
@@ -1757,6 +2005,129 @@ mod tests {
             PriorityPair::HIGH,
             "priority class preserved across redispatch"
         );
+    }
+
+    // ---- windowed sharded core (DESIGN.md §10) ------------------------------
+
+    fn sharded(mut cfg: ServingConfig, k: usize, parallel: bool) -> ServingConfig {
+        let mut sc = ShardConfig::new(k);
+        if parallel {
+            sc = sc.with_force_parallel();
+        }
+        cfg.shard = Some(sc);
+        cfg
+    }
+
+    /// Byte-identical-schedule check for the windowed core: every observable
+    /// of the run, including float accumulators and event counts, must match.
+    fn assert_identical(a: &ServingOutput, b: &ServingOutput) {
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.first_token, y.first_token);
+            assert_eq!(x.finish, y.finish);
+            assert_eq!(x.preemptions, y.preemptions);
+            assert_eq!(x.migrations, y.migrations);
+            assert_eq!(x.migration_downtime, y.migration_downtime);
+        }
+        assert_eq!(a.aborted, b.aborted);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.migration_stats.started, b.migration_stats.started);
+        assert_eq!(a.migration_stats.committed, b.migration_stats.committed);
+        assert_eq!(a.migration_stats.aborted, b.migration_stats.aborted);
+        assert_eq!(
+            a.migration_stats.total_downtime,
+            b.migration_stats.total_downtime
+        );
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.stalls.count, b.stalls.count);
+        assert_eq!(a.stalls.mean, b.stalls.mean, "stall float sums must match");
+        assert_eq!(a.high_step_batches.count, b.high_step_batches.count);
+        assert_eq!(a.high_step_batches.mean, b.high_step_batches.mean);
+        assert_eq!(a.avg_instances, b.avg_instances);
+    }
+
+    #[test]
+    fn windowed_schedule_is_shard_count_independent() {
+        let trace = tiny_trace(300, 8.0, 31);
+        let base = tiny_config(SchedulerKind::Llumnix, 4);
+        let k1 = run_serving(sharded(base.clone(), 1, false), trace.clone());
+        let k2 = run_serving(sharded(base.clone(), 2, true), trace.clone());
+        let k4 = run_serving(sharded(base.clone(), 4, true), trace.clone());
+        // Same K, worker threads vs inline: the pool must be pure plumbing.
+        let k4_inline = run_serving(sharded(base, 4, false), trace.clone());
+        assert_all_complete(trace.len(), &k1);
+        assert!(k1.migration_stats.started > 0, "want migration pressure");
+        assert_identical(&k1, &k2);
+        assert_identical(&k1, &k4);
+        assert_identical(&k4, &k4_inline);
+    }
+
+    #[test]
+    fn windowed_faults_are_shard_count_independent() {
+        let trace = tiny_trace(200, 6.0, 32);
+        let cfg = llumnix_faults::FaultPlanConfig::none()
+            .with_crashes(600.0, Some(SimDuration::from_secs(2)))
+            .with_slowdowns(1200.0, (2.0, 3.0), SimDuration::from_secs(5))
+            .with_link_failures(600.0, SimDuration::from_secs(2))
+            .with_horizon(SimDuration::from_secs(600));
+        let plan = FaultPlan::generate(&cfg, &SimRng::new(32));
+        let base = tiny_config(SchedulerKind::Llumnix, 3).with_faults(plan);
+        let k1 = run_serving(sharded(base.clone(), 1, false), trace.clone());
+        // A shard count that does not divide the fleet exercises uneven
+        // partitions.
+        let k3 = run_serving(sharded(base, 3, true), trace.clone());
+        assert!(!k1.fault_stats.quiet(), "faults should fire");
+        assert_all_complete(trace.len(), &k1);
+        assert_identical(&k1, &k3);
+    }
+
+    #[test]
+    fn windowed_centralized_defers_stall_decisions_identically() {
+        let trace = tiny_trace(200, 10.0, 33);
+        let base = tiny_config(SchedulerKind::Centralized, 8);
+        let k1 = run_serving(sharded(base.clone(), 1, false), trace.clone());
+        let k4 = run_serving(sharded(base, 4, true), trace.clone());
+        assert_all_complete(trace.len(), &k1);
+        assert!(k1.stalls.mean > 0.0, "centralized scheduler must stall");
+        assert_identical(&k1, &k4);
+    }
+
+    #[test]
+    fn windowed_autoscaling_is_shard_count_independent() {
+        let trace = tiny_trace(400, 10.0, 34);
+        let scale = AutoScaleConfig {
+            min_instances: 1,
+            max_instances: 8,
+            freeness_low: 10.0,
+            freeness_high: 60.0,
+            sustain: SimDuration::from_secs(2),
+            startup_delay: SimDuration::from_secs(3),
+        };
+        let base = tiny_config(SchedulerKind::Llumnix, 1).with_autoscale(scale);
+        let k1 = run_serving(sharded(base.clone(), 1, false), trace.clone());
+        let k4 = run_serving(sharded(base, 4, true), trace.clone());
+        assert_all_complete(trace.len(), &k1);
+        assert!(k1.instances.max() > 1.0, "load should trigger scale-up");
+        assert_identical(&k1, &k4);
+    }
+
+    #[test]
+    fn windowed_priority_runs_match_across_shard_counts() {
+        let spec = presets::by_name("S-S", 200, Arrivals::poisson(6.0))
+            .expect("preset")
+            .with_max_total_tokens(2_000)
+            .with_high_priority_fraction(0.3);
+        let trace = spec.generate(&SimRng::new(35));
+        let base = tiny_config(SchedulerKind::Llumnix, 4);
+        let k1 = run_serving(sharded(base.clone(), 1, false), trace.clone());
+        let k2 = run_serving(sharded(base, 2, true), trace.clone());
+        assert!(
+            k1.high_step_batches.count > 0,
+            "high-priority batches observed"
+        );
+        assert_identical(&k1, &k2);
     }
 
     #[test]

@@ -1,0 +1,622 @@
+//! Sharded fleet state for the conservative time-windowed parallel core.
+//!
+//! The windowed mode of [`crate::ServingSim`] partitions the fleet across K
+//! shards by `instance_id % K`. Each shard owns its instances' slab storage,
+//! their engine-step completion chains (a private [`EventQueue`]), and their
+//! straggler map — everything a step completion touches without consulting
+//! another instance. All cross-instance machinery (dispatch, migration
+//! pairing and handshakes, fault firing, sampling, auto-scaling) stays on
+//! the coordinator and runs between windows.
+//!
+//! A window `[t, t + lookahead)` drains every shard's local events —
+//! inline or on [`llumnix_sim::ShardPool`] workers — and buffers every
+//! cross-shard consequence (finished requests, drain/finish/preempt
+//! notifications, deferred central-scheduler decisions) as an [`Effect`]
+//! tagged with an [`EffectKey`]. The barrier merges the buffers with
+//! [`llumnix_sim::merge_windowed`] and applies them in key order, so the
+//! schedule is a pure function of `(seed, config)` — independent of the
+//! shard count and of which thread drained which shard. The lookahead is
+//! the modeled llumlet ↔ global-scheduler RPC latency: deferring a shard's
+//! outbound notifications to the barrier models that latency rather than
+//! approximating around it (DESIGN.md §10).
+
+use std::collections::BTreeMap;
+
+use llumnix_engine::{EngineEvent, InstanceEngine, InstanceId, Priority, SeqState, StepKind};
+use llumnix_sim::{EffectKey, EventQueue, SimDuration, SimTime};
+
+use crate::llumlet::Llumlet;
+use crate::store::InstanceStore;
+
+/// Configuration of the sharded windowed simulation core.
+///
+/// `None` in [`crate::ServingConfig::shard`] keeps the classic
+/// single-queue event loop byte-for-byte unchanged. `Some` switches to the
+/// windowed discipline — at *any* shard count, including 1: the windowed
+/// core's contract is that its output is identical for every `shards`
+/// value, not that it equals the classic loop (the window barrier models
+/// the llumlet ↔ scheduler RPC latency the classic loop idealizes away).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    /// Number of shards K (≥ 1).
+    pub shards: usize,
+    /// Conservative lookahead: the window length, equal to the modeled
+    /// llumlet ↔ global-scheduler RPC latency. Cross-shard notifications
+    /// emitted inside a window are delivered at its barrier, i.e. after at
+    /// most one lookahead — exactly the delay the RPC would impose.
+    pub lookahead: SimDuration,
+    /// Run shard drains on worker threads even when the host reports a
+    /// single CPU (the result is identical either way; this only forces the
+    /// parallel code path, e.g. for benches measuring it).
+    pub force_parallel: bool,
+}
+
+impl ShardConfig {
+    /// Windowed core with `shards` shards and the default lookahead.
+    ///
+    /// The default lookahead is 2 ms: the scale of one actor-RPC round
+    /// between a llumlet and the global scheduler in the modeled deployment
+    /// (well under the 20 ms migration commit pause and the ≥ 100 ms
+    /// dispatch/pairing cadences that dominate cross-instance causality;
+    /// comfortably over the 50 µs per-message transfer overhead that models
+    /// intra-migration messaging, which never crosses shards mid-handshake).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardConfig {
+            shards,
+            lookahead: SimDuration::from_millis(2),
+            force_parallel: false,
+        }
+    }
+
+    /// Overrides the lookahead.
+    pub fn with_lookahead(mut self, lookahead: SimDuration) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Forces worker-thread drains regardless of host parallelism.
+    pub fn with_force_parallel(mut self) -> Self {
+        self.force_parallel = true;
+        self
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::new(4)
+    }
+}
+
+/// A cross-shard consequence of shard-local work, applied at the barrier.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    /// A request reached a terminal state (`take_finished` entry).
+    Finished(SeqState),
+    /// An engine event the coordinator must route (migration aborts on
+    /// finish/preempt, drain handoffs, abort counting).
+    Engine(EngineEvent),
+    /// A decode step containing a high-execution-priority request ran with
+    /// this batch size (the §6.4 isolation diagnostic; observed at the
+    /// barrier so the accumulator's float sum sees one canonical order).
+    HighBatch(f64),
+    /// Centralized-scheduler mode: the shard polled a step but its start
+    /// awaits the central scheduler's decision. The barrier replays these
+    /// through the single FIFO stall model in canonical order and schedules
+    /// the completion back into the owning shard.
+    StepPending {
+        /// Requests whose status the decision synchronizes.
+        tracked: usize,
+        /// Step finish time before the central stall is added.
+        finish: SimTime,
+    },
+    /// The instance is terminating; the coordinator re-checks whether it
+    /// can now be retired.
+    CheckTermination,
+}
+
+/// Per-class counters over [`Effect`] traffic. Shards count what they emit;
+/// the coordinator counts what it applies; teardown asserts the ledgers
+/// reconcile (the honest-accounting guard for the cross-shard protocol).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EffectCounts {
+    pub finished: u64,
+    pub engine: u64,
+    pub high_batch: u64,
+    pub steps: u64,
+    pub termination: u64,
+}
+
+impl EffectCounts {
+    pub(crate) fn count(&mut self, effect: &Effect) {
+        match effect {
+            Effect::Finished(_) => self.finished += 1,
+            Effect::Engine(_) => self.engine += 1,
+            Effect::HighBatch(_) => self.high_batch += 1,
+            Effect::StepPending { .. } => self.steps += 1,
+            Effect::CheckTermination => self.termination += 1,
+        }
+    }
+
+    fn add(&mut self, other: &EffectCounts) {
+        self.finished += other.finished;
+        self.engine += other.engine;
+        self.high_batch += other.high_batch;
+        self.steps += other.steps;
+        self.termination += other.termination;
+    }
+}
+
+/// What one shard hands back from one window drain.
+#[derive(Debug, Default)]
+pub(crate) struct WindowOutbox {
+    /// Buffered cross-shard effects, in emission order (sorted by key:
+    /// local pops are time-ordered and `seq` orders within an episode).
+    pub effects: Vec<(EffectKey, Effect)>,
+    /// Zero-stall observations owed to the stall summary (one per polled
+    /// step outside centralized mode). Zeros are order-free in the
+    /// accumulator, so a count suffices.
+    pub stall_zeros: u64,
+    /// Local events popped during this window (stale pops included).
+    pub events: u64,
+}
+
+/// One shard: its instances, their step-completion chains, their straggler
+/// state, and its lifetime emission ledgers.
+#[derive(Default)]
+pub(crate) struct ShardState {
+    /// Slab of this shard's llumlets.
+    pub store: InstanceStore,
+    /// Shard-local event queue; payloads are instance ids whose step
+    /// completes at the scheduled time. Carries the same debug shadow-heap
+    /// cross-check as the global queue.
+    pub queue: EventQueue<InstanceId>,
+    /// Straggling instances of this shard: id → (expiry, latency factor).
+    pub slow_until: BTreeMap<InstanceId, (SimTime, f64)>,
+    /// Centralized mode: polled steps defer to the barrier instead of
+    /// scheduling locally.
+    pub defer_steps: bool,
+    /// Lifetime local events popped (reconciled at teardown).
+    pub events: u64,
+    /// Lifetime effects emitted by class (reconciled at teardown).
+    pub emitted: EffectCounts,
+}
+
+/// Drains one shard's local events strictly before `window_end`.
+///
+/// This is the per-worker half of the protocol. It mirrors the classic
+/// loop's `on_step_done` + `kick` sequence for everything instance-local
+/// (step completion, next-step polling and scheduling, straggler stretch)
+/// and buffers everything with cross-shard reach as [`Effect`]s keyed by
+/// `(time, instance, emission index)` — nothing shard-count-dependent ever
+/// enters a key or a decision.
+pub(crate) fn drain_window(shard: &mut ShardState, window_end: SimTime) -> WindowOutbox {
+    let mut out = WindowOutbox::default();
+    loop {
+        match shard.queue.peek_time() {
+            Some(t) if t < window_end => {}
+            _ => break,
+        }
+        let ShardState {
+            store,
+            queue,
+            slow_until,
+            defer_steps,
+            events,
+            emitted,
+        } = shard;
+        let (at, id) = queue.pop().expect("peeked above");
+        out.events += 1;
+        *events += 1;
+        let Some(llumlet) = store.get_mut(id) else {
+            continue; // Instance failed or terminated mid-step; stale event.
+        };
+        let entity = u64::from(id.0);
+        let mut seq: u32 = 0;
+        let mut emit = |eff: Effect| {
+            emitted.count(&eff);
+            out.effects.push((EffectKey { at, entity, seq }, eff));
+            seq += 1;
+        };
+        let step_events = llumlet.engine.complete_step(at);
+        for state in llumlet.engine.take_finished() {
+            emit(Effect::Finished(state));
+        }
+        for ev in step_events {
+            emit(Effect::Engine(ev));
+        }
+        if !llumlet.is_starting(at) {
+            if let Some(plan) = llumlet.engine.poll_step(at) {
+                if let StepKind::Decode(ids) = &plan.kind {
+                    let has_high = ids.iter().any(|r| {
+                        llumlet
+                            .engine
+                            .state(*r)
+                            .is_some_and(|s| s.meta.priority.execution == Priority::High)
+                    });
+                    if has_high {
+                        emit(Effect::HighBatch(ids.len() as f64));
+                    }
+                }
+                let mut finish = plan.finish_at();
+                if *defer_steps {
+                    let tracked = llumlet.engine.batch_size() + llumlet.engine.waiting_len();
+                    emit(Effect::StepPending { tracked, finish });
+                } else {
+                    out.stall_zeros += 1;
+                    if let Some(&(until, factor)) = slow_until.get(&id) {
+                        if at < until {
+                            finish = at + finish.since(at).mul_f64(factor);
+                        }
+                    }
+                    queue.push_coalesced(finish, id);
+                }
+            }
+            for ev in llumlet.engine.take_pending_events() {
+                emit(Effect::Engine(ev));
+            }
+            for state in llumlet.engine.take_finished() {
+                emit(Effect::Finished(state));
+            }
+        }
+        if llumlet.terminating {
+            emit(Effect::CheckTermination);
+        }
+    }
+    out
+}
+
+/// The fleet, partitioned into shards, presenting the [`InstanceStore`] API
+/// the serving loop was written against.
+///
+/// Classic mode constructs this with one shard, where every operation
+/// delegates straight to the single inner store — same walks, same dirty
+/// order, same bytes as the pre-shard simulator. Windowed mode constructs K
+/// shards; the only K-dependent observable is the order of the combined
+/// dirty drain (shard-major), which feeds content-commutative index updates
+/// only (DESIGN.md §10.4).
+pub(crate) struct ShardedFleet {
+    shards: Vec<ShardState>,
+    /// Live instances in global insertion order — the deterministic sweep
+    /// order, maintained across shards (shard-count independent).
+    order: Vec<InstanceId>,
+    dirty_tmp: Vec<InstanceId>,
+}
+
+impl ShardedFleet {
+    /// `k` empty shards; `defer_steps` set for centralized-stall runs.
+    pub fn new(k: usize, defer_steps: bool) -> Self {
+        assert!(k >= 1, "need at least one shard");
+        let mut shards = Vec::with_capacity(k);
+        for _ in 0..k {
+            shards.push(ShardState {
+                defer_steps,
+                ..ShardState::default()
+            });
+        }
+        ShardedFleet {
+            shards,
+            order: Vec::new(),
+            dirty_tmp: Vec::new(),
+        }
+    }
+
+    /// Which shard owns `id`.
+    pub fn shard_of(&self, id: InstanceId) -> usize {
+        id.0 as usize % self.shards.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard state by index (the window runner swaps states in and out).
+    pub fn shard_mut(&mut self, i: usize) -> &mut ShardState {
+        &mut self.shards[i]
+    }
+
+    /// Read-only shard states (teardown reconciliation).
+    pub fn shard_states(&self) -> &[ShardState] {
+        &self.shards
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Live instances in global insertion order.
+    pub fn order(&self) -> &[InstanceId] {
+        &self.order
+    }
+
+    /// Whether `id` is live.
+    pub fn contains(&self, id: InstanceId) -> bool {
+        self.shards[self.shard_of(id)].store.contains(id)
+    }
+
+    /// Inserts a new llumlet under `id` (marks it dirty).
+    pub fn insert(&mut self, id: InstanceId, llumlet: Llumlet) {
+        let s = self.shard_of(id);
+        self.shards[s].store.insert(id, llumlet);
+        self.order.push(id);
+    }
+
+    /// Removes and returns the llumlet under `id`.
+    pub fn remove(&mut self, id: InstanceId) -> Option<Llumlet> {
+        let s = self.shard_of(id);
+        let llumlet = self.shards[s].store.remove(id)?;
+        self.order.retain(|&i| i != id);
+        Some(llumlet)
+    }
+
+    /// Shared access to a llumlet.
+    pub fn get(&self, id: InstanceId) -> Option<&Llumlet> {
+        self.shards[self.shard_of(id)].store.get(id)
+    }
+
+    /// Mutable access to a llumlet (marks it dirty in its shard store).
+    pub fn get_mut(&mut self, id: InstanceId) -> Option<&mut Llumlet> {
+        let s = self.shard_of(id);
+        self.shards[s].store.get_mut(id)
+    }
+
+    /// Disjoint mutable access to two distinct instances' engines, possibly
+    /// across shards.
+    pub fn two_engines(
+        &mut self,
+        a: InstanceId,
+        b: InstanceId,
+    ) -> Option<(&mut InstanceEngine, &mut InstanceEngine)> {
+        let sa = self.shard_of(a);
+        let sb = self.shard_of(b);
+        if sa == sb {
+            return self.shards[sa].store.two_engines(a, b);
+        }
+        let (shard_a, shard_b) = if sa < sb {
+            let (lo, hi) = self.shards.split_at_mut(sb);
+            (&mut lo[sa], &mut hi[0])
+        } else {
+            let (lo, hi) = self.shards.split_at_mut(sa);
+            (&mut hi[0], &mut lo[sb])
+        };
+        let ea = shard_a.store.get_mut(a)?;
+        let eb = shard_b.store.get_mut(b)?;
+        Some((&mut ea.engine, &mut eb.engine))
+    }
+
+    /// Mutable engine references for every live instance except `excluding`,
+    /// keyed by id. Marks every returned instance dirty.
+    pub fn peers_mut(
+        &mut self,
+        excluding: InstanceId,
+    ) -> BTreeMap<InstanceId, &mut InstanceEngine> {
+        let mut map = BTreeMap::new();
+        for shard in &mut self.shards {
+            map.extend(shard.store.peers_mut(excluding));
+        }
+        map
+    }
+
+    /// Drains every shard's dirty list into `out`, shard-major. With one
+    /// shard this is exactly the store's marking order; with more the
+    /// relative order of different shards' entries differs by K, which is
+    /// safe because dirty entries feed per-id index updates whose combined
+    /// result is order-independent.
+    pub fn take_dirty(&mut self, out: &mut Vec<InstanceId>) {
+        out.clear();
+        for shard in &mut self.shards {
+            shard.store.take_dirty(&mut self.dirty_tmp);
+            out.extend_from_slice(&self.dirty_tmp);
+        }
+    }
+
+    /// Iterates live llumlets in global insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceId, &Llumlet)> {
+        self.order.iter().map(move |&id| {
+            let l = self.shards[self.shard_of(id)]
+                .store
+                .get(id)
+                .expect("order entries are live");
+            (id, l)
+        })
+    }
+
+    /// Schedules a step completion for `id` in its owning shard's queue.
+    pub fn push_local(&mut self, id: InstanceId, at: SimTime) {
+        let s = self.shard_of(id);
+        self.shards[s].queue.push_coalesced(at, id);
+    }
+
+    /// Earliest pending local event across all shards (the next window's
+    /// start). A global property: independent of how instances shard.
+    pub fn next_local_time(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(|s| s.queue.peek_time()).min()
+    }
+
+    /// The straggler factor in force for `id` at `now`, if any.
+    pub fn slow_factor(&self, id: InstanceId, now: SimTime) -> Option<f64> {
+        self.shards[self.shard_of(id)]
+            .slow_until
+            .get(&id)
+            .and_then(|&(until, factor)| (now < until).then_some(factor))
+    }
+
+    /// Applies a slowdown fault: overlapping slowdowns keep the later
+    /// expiry and the worse factor.
+    pub fn slow_apply(&mut self, id: InstanceId, until: SimTime, factor: f64) {
+        let s = self.shard_of(id);
+        let entry = self.shards[s]
+            .slow_until
+            .entry(id)
+            .or_insert((SimTime::ZERO, 1.0));
+        entry.0 = entry.0.max(until);
+        if factor > entry.1 {
+            entry.1 = factor;
+        }
+    }
+
+    /// Clears `id`'s straggler state (instance teardown).
+    pub fn slow_remove(&mut self, id: InstanceId) {
+        let s = self.shard_of(id);
+        self.shards[s].slow_until.remove(&id);
+    }
+
+    /// Drops expired slowdown entries across all shards.
+    pub fn slow_retain(&mut self, now: SimTime) {
+        for shard in &mut self.shards {
+            shard.slow_until.retain(|_, &mut (until, _)| until > now);
+        }
+    }
+
+    /// Lifetime local events popped across all shards.
+    pub fn local_events_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Lifetime effects emitted across all shards, by class.
+    pub fn emitted_totals(&self) -> EffectCounts {
+        let mut total = EffectCounts::default();
+        for shard in &self.shards {
+            total.add(&shard.emitted);
+        }
+        total
+    }
+
+    /// Structural consistency of the partition: every shard holds exactly
+    /// the ids that route to it, and the global order covers exactly the
+    /// union of shard members. Panics on violation (teardown guard).
+    pub fn check_consistency(&self) {
+        let mut shard_members = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            for &id in shard.store.order() {
+                assert_eq!(
+                    self.shard_of(id),
+                    i,
+                    "instance {id} stored in shard {i} but routes elsewhere"
+                );
+            }
+            shard_members += shard.store.len();
+        }
+        assert_eq!(
+            shard_members,
+            self.order.len(),
+            "global order and shard membership diverged"
+        );
+        for &id in &self.order {
+            assert!(
+                self.contains(id),
+                "global order entry {id} missing from its shard"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llumnix_engine::EngineConfig;
+    use llumnix_model::InstanceSpec;
+
+    fn llumlet(id: u32) -> Llumlet {
+        Llumlet::new(
+            InstanceEngine::new(
+                InstanceId(id),
+                InstanceSpec::tiny_for_tests(256),
+                EngineConfig::default(),
+            ),
+            SimTime::ZERO,
+            None,
+        )
+    }
+
+    #[test]
+    fn fleet_routes_by_id_modulo() {
+        let mut f = ShardedFleet::new(3, false);
+        for i in 0..7 {
+            f.insert(InstanceId(i), llumlet(i));
+        }
+        assert_eq!(f.len(), 7);
+        for i in 0..7u32 {
+            assert_eq!(f.shard_of(InstanceId(i)), i as usize % 3);
+            assert!(f.contains(InstanceId(i)));
+            assert_eq!(f.get(InstanceId(i)).unwrap().id(), InstanceId(i));
+        }
+        f.check_consistency();
+        // Global order is insertion order, not shard-major.
+        let ids: Vec<u32> = f.order().iter().map(|i| i.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+        f.remove(InstanceId(4));
+        assert!(!f.contains(InstanceId(4)));
+        assert_eq!(f.len(), 6);
+        f.check_consistency();
+    }
+
+    #[test]
+    fn cross_shard_two_engines() {
+        let mut f = ShardedFleet::new(2, false);
+        f.insert(InstanceId(0), llumlet(0)); // shard 0
+        f.insert(InstanceId(1), llumlet(1)); // shard 1
+        f.insert(InstanceId(2), llumlet(2)); // shard 0
+        let (a, b) = f.two_engines(InstanceId(0), InstanceId(1)).expect("cross");
+        assert_eq!(a.id, InstanceId(0));
+        assert_eq!(b.id, InstanceId(1));
+        let (b2, a2) = f.two_engines(InstanceId(1), InstanceId(0)).expect("rev");
+        assert_eq!(b2.id, InstanceId(1));
+        assert_eq!(a2.id, InstanceId(0));
+        let (x, y) = f.two_engines(InstanceId(0), InstanceId(2)).expect("same");
+        assert_eq!(x.id, InstanceId(0));
+        assert_eq!(y.id, InstanceId(2));
+        f.remove(InstanceId(1));
+        assert!(f.two_engines(InstanceId(0), InstanceId(1)).is_none());
+    }
+
+    #[test]
+    fn peers_and_dirty_cover_all_shards() {
+        let mut f = ShardedFleet::new(2, false);
+        for i in 0..4 {
+            f.insert(InstanceId(i), llumlet(i));
+        }
+        let mut dirty = Vec::new();
+        f.take_dirty(&mut dirty); // inserts marked everything dirty
+        assert_eq!(dirty.len(), 4);
+        let peers = f.peers_mut(InstanceId(1));
+        let ids: Vec<u32> = peers.keys().map(|i| i.0).collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        drop(peers);
+        f.take_dirty(&mut dirty);
+        assert_eq!(dirty.len(), 3, "peers_mut marks returned instances dirty");
+    }
+
+    #[test]
+    fn local_queue_routing_and_min() {
+        let mut f = ShardedFleet::new(2, false);
+        f.insert(InstanceId(0), llumlet(0));
+        f.insert(InstanceId(1), llumlet(1));
+        assert_eq!(f.next_local_time(), None);
+        f.push_local(InstanceId(1), SimTime::from_millis(5));
+        f.push_local(InstanceId(0), SimTime::from_millis(3));
+        assert_eq!(f.next_local_time(), Some(SimTime::from_millis(3)));
+        let popped = f.shard_mut(0).queue.pop().expect("shard 0 event");
+        assert_eq!(popped, (SimTime::from_millis(3), InstanceId(0)));
+        assert_eq!(f.next_local_time(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn slowdown_state_routes_and_merges() {
+        let mut f = ShardedFleet::new(2, false);
+        f.insert(InstanceId(0), llumlet(0));
+        let t10 = SimTime::from_secs(10);
+        f.slow_apply(InstanceId(0), t10, 2.0);
+        // Overlap keeps later expiry and worse factor.
+        f.slow_apply(InstanceId(0), SimTime::from_secs(5), 3.0);
+        assert_eq!(
+            f.slow_factor(InstanceId(0), SimTime::from_secs(1)),
+            Some(3.0)
+        );
+        assert_eq!(f.slow_factor(InstanceId(0), t10), None, "expiry exclusive");
+        f.slow_retain(SimTime::from_secs(20));
+        assert_eq!(f.slow_factor(InstanceId(0), SimTime::from_secs(1)), None);
+    }
+}

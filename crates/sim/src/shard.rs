@@ -1,0 +1,251 @@
+//! Generic machinery for conservative time-windowed sharded simulation.
+//!
+//! A sharded simulation partitions its state into `K` shards, each draining
+//! its own [`EventQueue`](crate::EventQueue) over a bounded time window
+//! `[t, t + lookahead)`, then meets at a barrier where buffered cross-shard
+//! effects are merged and applied in a canonical order. Two pieces are
+//! generic and live here:
+//!
+//! * [`merge_windowed`] — the barrier merge. Each shard hands back the
+//!   effects it emitted during the window, tagged with a totally ordered
+//!   key; the merge produces one globally sorted stream. Because the key is
+//!   derived from simulation state only (timestamp, then a stable event
+//!   key), the merged order — and therefore everything the barrier applies —
+//!   is identical for every shard count, including `K = 1`. This is the
+//!   byte-identical-schedule contract extended across shards.
+//! * [`ShardPool`] — persistent worker threads that window-drain shard
+//!   states in parallel. Shard states ping-pong over channels (moved to a
+//!   worker for the window, moved back with the window's outbox), so no
+//!   locks and no shared mutable state are involved; the pool is pure
+//!   plumbing and cannot affect results. With no workers (a one-core
+//!   machine, or `K = 1`) the caller runs the same drain function inline
+//!   and gets the same bytes.
+//!
+//! Determinism note: nothing here reads wall-clock time or iterates an
+//! unordered container; whether a window runs inline or on workers only
+//! changes which thread computes it, never what it computes.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::time::SimTime;
+
+/// Canonical ordering key for one cross-shard effect: the simulated instant
+/// it was emitted, a stable entity key (e.g. the emitting instance id), and
+/// the emission index within that `(time, entity)` episode.
+///
+/// The key deliberately contains nothing shard-dependent: two runs of the
+/// same simulation at different shard counts emit the same effects with the
+/// same keys, so the barrier merge applies them in the same order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EffectKey {
+    /// Simulated time the effect was emitted.
+    pub at: SimTime,
+    /// Stable entity id (shard-count independent), e.g. the instance id.
+    pub entity: u64,
+    /// Emission sequence within this `(at, entity)` episode.
+    pub seq: u32,
+}
+
+/// Merges per-shard effect buffers into one stream sorted by key.
+///
+/// Input buffers arrive in local emission order: time-ordered across pops,
+/// but same-time pops within one shard surface in push order, not entity
+/// order. The sort canonicalizes both — the output order is a pure function
+/// of the union of items, so partitioning the same items differently across
+/// buffers (or reordering within a buffer) cannot change it. Debug builds
+/// assert the merged keys are globally unique, the property that makes the
+/// sorted order total.
+pub fn merge_windowed<K: Ord + Copy, T>(mut per_shard: Vec<Vec<(K, T)>>) -> Vec<(K, T)> {
+    let total: usize = per_shard.iter().map(Vec::len).sum();
+    let mut merged: Vec<(K, T)> = Vec::with_capacity(total);
+    for buf in per_shard.iter_mut() {
+        merged.append(buf);
+    }
+    // The concatenation is K nearly-sorted runs; the stdlib mergesort is
+    // adaptive and exploits them. Keys never tie across shards (an entity
+    // lives on exactly one shard and `seq` orders its emissions), so a
+    // stable sort is a total order, not an ordering policy.
+    merged.sort_by_key(|item| item.0);
+    #[cfg(debug_assertions)]
+    debug_assert!(
+        merged.windows(2).all(|w| w[0].0 < w[1].0),
+        "effect keys must be unique across shards"
+    );
+    merged
+}
+
+/// Message to a pool worker: a shard state to drain up to a window end.
+enum Job<S> {
+    Run(S, SimTime),
+    Stop,
+}
+
+/// A persistent pool of window-drain workers.
+///
+/// Constructed with the number of *worker threads* (typically `K - 1`:
+/// the coordinator thread drains one shard itself while workers drain the
+/// rest) and the drain function. Each [`ShardPool::dispatch`] moves a shard
+/// state to a worker; [`ShardPool::collect`] moves it back together with
+/// whatever the drain function returned (the window outbox).
+pub struct ShardPool<S, O> {
+    to_workers: Vec<Sender<Job<S>>>,
+    from_workers: Vec<Receiver<(S, O)>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<S: Send + 'static, O: Send + 'static> ShardPool<S, O> {
+    /// Spawns `workers` threads, each looping on `drain`.
+    pub fn new(workers: usize, drain: fn(&mut S, SimTime) -> O) -> Self {
+        let mut to_workers = Vec::with_capacity(workers);
+        let mut from_workers = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx_job, rx_job) = channel::<Job<S>>();
+            let (tx_done, rx_done) = channel::<(S, O)>();
+            let handle = std::thread::spawn(move || {
+                while let Ok(job) = rx_job.recv() {
+                    match job {
+                        Job::Run(mut state, window_end) => {
+                            let out = drain(&mut state, window_end);
+                            if tx_done.send((state, out)).is_err() {
+                                break; // Pool dropped mid-window.
+                            }
+                        }
+                        Job::Stop => break,
+                    }
+                }
+            });
+            to_workers.push(tx_job);
+            from_workers.push(rx_done);
+            handles.push(handle);
+        }
+        ShardPool {
+            to_workers,
+            from_workers,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.to_workers.len()
+    }
+
+    /// Hands `state` to worker `w` to drain up to `window_end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker died (a drain panicked in a previous window).
+    pub fn dispatch(&self, w: usize, state: S, window_end: SimTime) {
+        self.to_workers[w]
+            .send(Job::Run(state, window_end))
+            .expect("shard worker died");
+    }
+
+    /// Waits for worker `w`'s window to finish and returns the state and
+    /// outbox. Must pair with a prior [`ShardPool::dispatch`] to `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker died (its drain call panicked).
+    pub fn collect(&self, w: usize) -> (S, O) {
+        self.from_workers[w]
+            .recv()
+            .expect("shard worker panicked during window drain")
+    }
+}
+
+impl<S, O> Drop for ShardPool<S, O> {
+    fn drop(&mut self) {
+        for tx in &self.to_workers {
+            // A dead worker already dropped its receiver; ignore.
+            let _ = tx.send(Job::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            // Don't double-panic while unwinding: the original panic is the
+            // diagnostic that matters.
+            let joined = handle.join();
+            if !std::thread::panicking() {
+                joined.expect("shard worker panicked");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(at: u64, entity: u64, seq: u32) -> EffectKey {
+        EffectKey {
+            at: SimTime::from_micros(at),
+            entity,
+            seq,
+        }
+    }
+
+    #[test]
+    fn merge_is_partition_independent() {
+        // The same 6 effects, split two different ways across shards, merge
+        // to the same stream.
+        let items = [
+            (key(1, 10, 0), "a"),
+            (key(1, 11, 0), "b"),
+            (key(1, 11, 1), "c"),
+            (key(2, 10, 0), "d"),
+            (key(2, 12, 0), "e"),
+            (key(3, 11, 0), "f"),
+        ];
+        let by_entity_parity: Vec<Vec<_>> = vec![
+            items
+                .iter()
+                .copied()
+                .filter(|(k, _)| k.entity % 2 == 0)
+                .collect(),
+            items
+                .iter()
+                .copied()
+                .filter(|(k, _)| k.entity % 2 == 1)
+                .collect(),
+        ];
+        let all_in_one: Vec<Vec<_>> = vec![items.to_vec(), Vec::new()];
+        let a: Vec<&str> = merge_windowed(by_entity_parity)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        let b: Vec<&str> = merge_windowed(all_in_one)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec!["a", "b", "c", "d", "e", "f"]);
+    }
+
+    #[test]
+    fn pool_round_trips_state_and_outbox() {
+        // Each drain call appends the window end to the state and reports
+        // the count so far.
+        fn drain(state: &mut Vec<SimTime>, end: SimTime) -> usize {
+            state.push(end);
+            state.len()
+        }
+        let pool: ShardPool<Vec<SimTime>, usize> = ShardPool::new(2, drain);
+        assert_eq!(pool.workers(), 2);
+        let mut states = vec![vec![], vec![]];
+        for round in 1..=3u64 {
+            let end = SimTime::from_millis(round);
+            for (w, state) in states.iter_mut().enumerate() {
+                pool.dispatch(w, std::mem::take(state), end);
+            }
+            for (w, state) in states.iter_mut().enumerate() {
+                let (returned, count) = pool.collect(w);
+                assert_eq!(count, round as usize);
+                *state = returned;
+            }
+        }
+        for state in &states {
+            assert_eq!(state.len(), 3);
+        }
+    }
+}

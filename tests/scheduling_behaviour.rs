@@ -146,6 +146,7 @@ fn centralized_stalls_surface_in_latency() {
     free_config.central = CentralSchedulerModel {
         base: SimDuration::ZERO,
         per_request: SimDuration::ZERO,
+        amortization_scale: 0,
     };
     let free = run_serving(free_config, trace);
     let rs = LatencyReport::from_records(&stalled.records);

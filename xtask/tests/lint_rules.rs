@@ -6,7 +6,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
-use xtask::{lint_source, run_lint, Allowlist, FileClass, Rule};
+use xtask::{lint_source, run_lint, work_items, Allowlist, FileClass, Rule};
 
 fn det() -> FileClass {
     FileClass {
@@ -233,4 +233,27 @@ fn the_real_tree_is_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+#[test]
+fn shard_modules_are_audited_as_deterministic() {
+    // The sharded windowed core carries the byte-identical-schedule
+    // contract across threads, so its modules must sit inside the strict
+    // audit set — a crate-list or layout change that drops them has to
+    // fail loudly, not silently relax the rules.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("workspace root")
+        .to_path_buf();
+    let items = work_items(&root);
+    for rel in ["crates/sim/src/shard.rs", "crates/core/src/shard.rs"] {
+        let item = items
+            .iter()
+            .find(|i| i.rel == rel)
+            .unwrap_or_else(|| panic!("{rel} missing from the audit's work items"));
+        assert!(
+            item.class.deterministic,
+            "{rel} must be audited under the deterministic-crate rules"
+        );
+    }
 }
