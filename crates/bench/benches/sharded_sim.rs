@@ -1,5 +1,6 @@
 //! Sharded windowed-core scalability: the Figure 16 1024-instance Llumnix
-//! arm at 1, 2, 4 and 8 shards, plus a 4096-instance arm at 1 and 8 shards.
+//! arm at 1, 2, 4, 8 and 16 shards, plus a 4096-instance arm at 1, 8 and
+//! 16 shards.
 //!
 //! Run with `cargo bench --bench sharded_sim`. The numbers land in
 //! `BENCH_sharded_sim.json` at the repo root (override with `--json <path>`,
@@ -45,6 +46,14 @@ struct Arm {
     speedup: f64,
     /// Wall-clock ratio vs the single-shard arm on this machine. Not gated.
     measured_speedup: f64,
+    /// Conservative windows run (autotuning merges quiet ones).
+    windows: u64,
+    /// Worst window's busiest-shard ratio (1.0 = balanced, K = one shard
+    /// did all the work). Explains speedup shortfalls: high max points at
+    /// partition skew.
+    imbalance_max: f64,
+    /// Event-weighted mean busiest-shard ratio across windows.
+    imbalance_mean: f64,
 }
 
 #[derive(Serialize)]
@@ -90,6 +99,9 @@ fn run_arm(instances: u32, shards: usize, requests: usize, rate: f64, seed: u64)
         events_per_wall_sec: out.events_processed as f64 / wall,
         speedup: out.events_processed as f64 / out.critical_path_events.max(1) as f64,
         measured_speedup: 0.0, // Filled in once the single-shard arm exists.
+        windows: out.window_stats.windows,
+        imbalance_max: out.window_stats.imbalance_max(),
+        imbalance_mean: out.window_stats.imbalance_mean(),
     }
 }
 
@@ -101,8 +113,8 @@ fn main() {
     // per instance), and the headline large fleet (4096 instances; 4
     // requests per instance keeps it inside the nightly budget).
     let groups: [(u32, &[usize], usize, f64); 2] = [
-        (1_024, &[1, 2, 4, 8], opts.scaled(32_768), 8_800.0),
-        (4_096, &[1, 8], opts.scaled(16_384), 35_200.0),
+        (1_024, &[1, 2, 4, 8, 16], opts.scaled(32_768), 8_800.0),
+        (4_096, &[1, 8, 16], opts.scaled(16_384), 35_200.0),
     ];
 
     // Warm-up pass so one-time costs don't pollute the first measured arm.
@@ -145,7 +157,8 @@ fn main() {
     for arm in &baseline.arms {
         println!(
             "sharded_sim: {} instances x {} shards: {} events, critical path {} \
-             -> {:.2}x work bound ({:.2}s wall, {:.0} events/s, {:.2}x measured)",
+             -> {:.2}x work bound ({:.2}s wall, {:.0} events/s, {:.2}x measured; \
+             {} windows, imbalance max {:.2} mean {:.2})",
             arm.instances,
             arm.shards,
             arm.events_processed,
@@ -154,6 +167,9 @@ fn main() {
             arm.wall_secs,
             arm.events_per_wall_sec,
             arm.measured_speedup,
+            arm.windows,
+            arm.imbalance_max,
+            arm.imbalance_mean,
         );
     }
 

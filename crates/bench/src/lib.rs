@@ -42,6 +42,11 @@ pub struct BenchOpts {
     /// determinism cross-checks compare `--shards 1` against `--shards 4`,
     /// never against a run without the flag.
     pub shards: Option<usize>,
+    /// Window-length autotuning for the sharded core (`--no-autotune`
+    /// disables it). Stretching is gated so the schedule is byte-identical
+    /// either way — CI diffs an autotune-on run against an autotune-off run
+    /// to hold that invariant.
+    pub autotune: bool,
 }
 
 /// Parses the value following a flag, exiting with a clear diagnostic when the
@@ -79,6 +84,7 @@ impl BenchOpts {
             threads: None,
             canonical: false,
             shards: None,
+            autotune: true,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -129,6 +135,10 @@ impl BenchOpts {
                     opts.shards = Some(shards);
                     i += 2;
                 }
+                "--no-autotune" => {
+                    opts.autotune = false;
+                    i += 1;
+                }
                 _ => i += 1,
             }
         }
@@ -141,11 +151,12 @@ impl BenchOpts {
     }
 
     /// Applies `--shards` to a serving configuration: with `--shards N` the
-    /// run uses the conservative time-windowed sharded core at `N` shards;
-    /// without it the classic single-queue loop runs untouched.
+    /// run uses the conservative time-windowed sharded core at `N` shards
+    /// (window autotuning on unless `--no-autotune` was given); without it
+    /// the classic single-queue loop runs untouched.
     pub fn sharded(&self, config: ServingConfig) -> ServingConfig {
         match self.shards {
-            Some(k) => config.with_shards(ShardConfig::new(k)),
+            Some(k) => config.with_shards(ShardConfig::new(k).with_autotune(self.autotune)),
             None => config,
         }
     }
@@ -411,6 +422,7 @@ mod tests {
             threads: None,
             canonical: false,
             shards: None,
+            autotune: true,
         };
         assert_eq!(opts.scaled(10_000), 1_000);
         assert_eq!(opts.scaled(50), 10, "floor at 10");

@@ -18,6 +18,7 @@ fn arm_specs() -> Vec<ArmSpec> {
         threads: None,
         canonical: false,
         shards: None,
+        autotune: true,
     };
     let mut arms = Vec::new();
     for (trace, rate) in [("S-S", 4.0), ("M-M", 2.0), ("L-L", 1.5)] {

@@ -24,7 +24,7 @@ pub mod store;
 pub mod virtual_usage;
 
 pub use central::{CentralScheduler, CentralSchedulerModel};
-pub use index::{DispatchIndex, IndexPolicy};
+pub use index::{DispatchIndex, IndexPolicy, IndexReads, MergedIndex};
 pub use llumlet::Llumlet;
 pub use llumnix_faults::{FaultKind, FaultPlan, FaultPlanConfig, PlannedFault};
 pub use policy::{
@@ -32,7 +32,7 @@ pub use policy::{
     ScaleAction, SchedulerKind, VictimPolicy,
 };
 pub use serving::{run_serving, FailureSpec, ServingConfig, ServingOutput, ServingSim};
-pub use shard::ShardConfig;
+pub use shard::{ShardConfig, WindowStats};
 pub use store::InstanceStore;
 pub use virtual_usage::{
     engine_freeness, freeness, infaas_equivalent_freeness, infaas_memory_load, virtual_usage,

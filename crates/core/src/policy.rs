@@ -150,15 +150,16 @@ impl Dispatcher {
         }
     }
 
-    /// Like [`Dispatcher::dispatch_for`], but selecting from the incremental
-    /// [`DispatchIndex`](crate::index::DispatchIndex) instead of scanning a
-    /// report slice — same decisions, same tie-breaks, O(log N). The
-    /// round-robin counter advances exactly when the slice path would have
-    /// advanced it (some instance is eligible).
-    pub fn dispatch_indexed(
+    /// Like [`Dispatcher::dispatch_for`], but selecting from an incremental
+    /// index — the monolithic [`DispatchIndex`](crate::index::DispatchIndex)
+    /// or the sharded [`MergedIndex`](crate::index::MergedIndex) view —
+    /// instead of scanning a report slice: same decisions, same tie-breaks,
+    /// O(log N). The round-robin counter advances exactly when the slice
+    /// path would have advanced it (some instance is eligible).
+    pub fn dispatch_indexed<I: crate::index::IndexReads>(
         &mut self,
         kind: SchedulerKind,
-        index: &crate::index::DispatchIndex,
+        index: &I,
         high_priority: bool,
     ) -> Option<InstanceId> {
         let len = index.serving_len();

@@ -37,6 +37,7 @@ use crate::policy::{
 };
 use crate::shard::{
     drain_window, Effect, EffectCounts, ShardConfig, ShardState, ShardedFleet, WindowOutbox,
+    WindowStats,
 };
 use crate::virtual_usage::{HeadroomConfig, QueuingRule};
 
@@ -201,6 +202,9 @@ pub struct ServingOutput {
     /// upper bound on the wall-clock speedup of giving each shard its own
     /// core; in classic (unsharded) mode the two counters are equal.
     pub critical_path_events: u64,
+    /// Per-window shard-balance statistics (windowed mode only; zeroed in
+    /// the classic loop, which has no windows).
+    pub window_stats: WindowStats,
     /// Failure/recovery accounting for the fault-injection subsystem.
     pub fault_stats: FaultStats,
 }
@@ -262,6 +266,9 @@ pub struct ServingSim {
     queued: TimeSeries,
     instances_ts: TimeSeries,
     arrivals_done: bool,
+    /// Windowed mode: arrivals applied at barriers so far (`arrivals_done`
+    /// flips when the count reaches the trace length).
+    arrivals_applied: usize,
     makespan: SimTime,
     /// Failure/recovery counters for the fault-injection subsystem.
     fault_stats: FaultStats,
@@ -285,6 +292,19 @@ pub struct ServingSim {
     /// Conservative window length (the modeled llumlet ↔ scheduler RPC
     /// latency). Zero in classic mode.
     lookahead: SimDuration,
+    /// Window-length autotuning enabled (see [`ShardConfig::autotune`]).
+    autotune: bool,
+    /// Current stretch multiplier: quiescent windows may extend to this many
+    /// lookahead cells. Doubles (capped) after an effect-sparse window,
+    /// resets to 1 after a dense one — a pure cadence heuristic; the
+    /// quiescence gates alone guarantee stretched schedules are identical.
+    stretch_mult: u64,
+    /// Live instances currently flagged `terminating` (scale-down drains).
+    /// Maintained exactly: +1 when termination begins, −1 when the instance
+    /// retires or fails. Gates window stretching: terminating instances emit
+    /// `CheckTermination` effects whose application is barrier-time
+    /// sensitive.
+    terminating_count: usize,
     /// Drain windows on worker threads even on a single-CPU host.
     force_parallel: bool,
     /// Worker threads for parallel window drains (windowed mode with K > 1
@@ -298,6 +318,13 @@ pub struct ServingSim {
     local_events_applied: u64,
     /// See [`ServingOutput::critical_path_events`].
     critical_path_events: u64,
+    /// Per-shard event counts of live migration stage/commit handshakes
+    /// handled since the last window closed (paper Figure 7 runs on the
+    /// llumlet pair, so this work belongs to the endpoint shards, not the
+    /// coordinator). Folded into the next window's busiest-shard tally.
+    rpc_tally: Vec<u64>,
+    /// See [`ServingOutput::window_stats`].
+    window_stats: WindowStats,
 }
 
 /// Coarsening factor for the periodic sampling and migration ticks.
@@ -311,6 +338,23 @@ pub struct ServingSim {
 fn tick_scale(instances: u32) -> u64 {
     u64::from(instances.div_ceil(256).next_power_of_two())
 }
+
+/// Cap on how many lookahead cells one stretched window may merge: 32 cells
+/// = 64 ms at the default 2 ms lookahead, comfortably under the ≥ 100 ms
+/// periodic-tick cadences, so a stretch can widen windows by an order of
+/// magnitude while the global-event clamp still binds only occasionally.
+const MAX_STRETCH_CELLS: u64 = 32;
+
+/// Effect-sparsity budget for the autotune cadence: a window counts as
+/// sparse — and the stretch multiplier doubles — when it drained at most
+/// this many cross-shard effects per merged cell. Steady request drain-out
+/// emits a couple of effects (finish + engine event) per completing
+/// request, so a budget of one would freeze stretching exactly in the long
+/// quiescent phases it exists for; arrival bursts at peak rate run tens of
+/// effects per cell and still reset the multiplier. Correctness never rests
+/// on this number — the quiescence gates in `stretched_end` alone keep
+/// stretched schedules byte-identical.
+const STRETCH_EFFECT_BUDGET_PER_CELL: u64 = 4;
 
 impl ServingSim {
     /// Builds a simulation over `trace`.
@@ -329,12 +373,22 @@ impl ServingSim {
             config.scheduler,
             config.autoscale.is_some(),
         ));
-        let (windowed, shard_count, lookahead, force_parallel) = match config.shard {
+        let (windowed, shard_count, lookahead, force_parallel, autotune) = match config.shard {
             Some(sc) => {
                 assert!(sc.shards >= 1, "need at least one shard");
-                (true, sc.shards, sc.lookahead, sc.force_parallel)
+                assert!(
+                    !sc.lookahead.is_zero(),
+                    "windowed mode needs a nonzero lookahead"
+                );
+                (
+                    true,
+                    sc.shards,
+                    sc.lookahead,
+                    sc.force_parallel,
+                    sc.autotune,
+                )
             }
-            None => (false, 1, SimDuration::ZERO, false),
+            None => (false, 1, SimDuration::ZERO, false, false),
         };
         let defer_steps = windowed && config.scheduler.has_central_stalls();
         let mut sim = ServingSim {
@@ -369,6 +423,7 @@ impl ServingSim {
             queued: TimeSeries::new("queued"),
             instances_ts: TimeSeries::new("instances"),
             arrivals_done: false,
+            arrivals_applied: 0,
             makespan: SimTime::ZERO,
             fault_stats: FaultStats::default(),
             recovery_acc: SummaryAccumulator::new(),
@@ -379,12 +434,28 @@ impl ServingSim {
             events_processed: 0,
             windowed,
             lookahead,
+            autotune,
+            stretch_mult: 1,
+            terminating_count: 0,
             force_parallel,
             pool: None,
             applied: EffectCounts::default(),
             local_events_applied: 0,
             critical_path_events: 0,
+            rpc_tally: Vec::new(),
+            window_stats: WindowStats::default(),
         };
+        if sim.windowed {
+            // Shard-local index maintenance: each shard folds its own dirty
+            // set into its partition at every window end, except under the
+            // Gradual rule, whose reports drift with bare time (the
+            // coordinator full-sweeps at each decision instead — partitions
+            // then update only through `refresh_fleet`).
+            let policy = IndexPolicy::for_run(sim.config.scheduler, sim.config.autoscale.is_some());
+            let headroom = sim.headroom;
+            let refresh = !sim.refresh_all;
+            sim.store.configure_partitions(policy, headroom, refresh);
+        }
         for _ in 0..sim.config.initial_instances {
             sim.launch_instance(SimTime::ZERO, None);
         }
@@ -413,8 +484,19 @@ impl ServingSim {
     }
 
     fn seed_events(&mut self) {
-        self.queue
-            .push_coalesced(self.trace.requests[0].arrival, Event::Arrival(0));
+        if self.windowed {
+            // Pre-partitioned arrival streams (DESIGN.md §12): the trace
+            // expands into K shard-local sequences once, up front. Arrivals
+            // then drain inside windows like any other shard-local event and
+            // reach the coordinator as barrier effects — they never touch
+            // the global queue.
+            for (i, r) in self.trace.requests.iter().enumerate() {
+                self.store.seed_arrival(r.arrival, i, r.id);
+            }
+        } else {
+            self.queue
+                .push_coalesced(self.trace.requests[0].arrival, Event::Arrival(0));
+        }
         self.queue
             .push(SimTime::ZERO + self.sample_interval, Event::Sample);
         if self.config.scheduler.uses_migration() {
@@ -448,6 +530,7 @@ impl ServingSim {
     /// the coordinator → llumlet direction of the same modeled RPC latency.
     fn run_windowed(&mut self) {
         let k = self.store.shard_count();
+        self.rpc_tally = vec![0; k];
         let host_parallel =
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1;
         if k > 1 && (self.force_parallel || host_parallel) {
@@ -483,9 +566,109 @@ impl ServingSim {
                 if start > self.config.max_sim_time {
                     break;
                 }
-                self.run_window(start + self.lookahead);
+                // Windows are cells of the lookahead lattice: the window
+                // containing `start` is `[cell, cell + L)`. Ending on
+                // lattice points (rather than `start + L`) makes the set of
+                // barrier times a run visits a subset of one fixed lattice,
+                // which is what lets the autotuner merge adjacent cells
+                // without moving any barrier an unstretched run would take.
+                let cell = self.cell_start(start);
+                let base_end = cell + self.lookahead;
+                let end = self.stretched_end(cell, base_end, next_global);
+                let before = self.applied.total();
+                self.run_window(end);
+                // Autotune cadence: effect-sparse window → double the
+                // stretch; denser → reset. Pure heuristic — the quiescence
+                // gates in `stretched_end` alone guarantee stretched
+                // schedules are byte-identical.
+                let effects = self.applied.total() - before;
+                let cells = end.since(cell).as_micros() / self.lookahead.as_micros();
+                self.stretch_mult = if effects <= STRETCH_EFFECT_BUDGET_PER_CELL * cells {
+                    (self.stretch_mult * 2).min(MAX_STRETCH_CELLS)
+                } else {
+                    1
+                };
             }
         }
+        // Handshake work attributed after the last window closed (tail
+        // commits): the endpoint shards still execute it concurrently, so
+        // only the busiest tally joins the critical path.
+        let leftover = self.rpc_tally.iter().copied().max().unwrap_or(0);
+        self.critical_path_events += leftover;
+        self.rpc_tally.iter_mut().for_each(|t| *t = 0);
+    }
+
+    /// Start of the lookahead-lattice cell containing `t`.
+    fn cell_start(&self, t: SimTime) -> SimTime {
+        let l = self.lookahead.as_micros();
+        SimTime::from_micros(t.as_micros() / l * l)
+    }
+
+    /// The window end for a window opening in `[cell, base_end)`: up to
+    /// [`MAX_STRETCH_CELLS`] merged lattice cells when autotuning finds the
+    /// coordinator quiescent, else `base_end`.
+    ///
+    /// Stretching is restricted to spans whose barrier is a pure recorder —
+    /// no dispatch, no termination, no centralized decision, no global
+    /// event, and no migration-sensitive source step boundary before the
+    /// final cell (the hazard horizon below) — so draining N cells behind
+    /// one barrier applies the byte-identical effect stream the N per-cell
+    /// barriers would have, and every later decision runs at the same time
+    /// with the same state (DESIGN.md §12).
+    fn stretched_end(
+        &self,
+        cell: SimTime,
+        base_end: SimTime,
+        next_global: Option<SimTime>,
+    ) -> SimTime {
+        if !self.autotune || self.stretch_mult <= 1 {
+            return base_end;
+        }
+        // Quiescence gates — every effect class a stretched drain could emit
+        // must apply independently of the barrier time:
+        // - terminating instances emit `CheckTermination`, whose teardown
+        //   samples a timeline at `now`;
+        // - starting instances' reports flip by time alone (their partition
+        //   refresh happens at the window end);
+        // - centralized mode's `StepPending` grants schedule at `now`.
+        if self.config.scheduler.has_central_stalls()
+            || self.terminating_count != 0
+            || !self.starting_queue.is_empty()
+        {
+            return base_end;
+        }
+        let mut end = cell + self.lookahead * self.stretch_mult;
+        // Never swallow a coordinator event, an undispatched arrival, or the
+        // simulation horizon: each must meet its own cell's barrier exactly
+        // as an unstretched run would (clamping to the *cell start* keeps
+        // the event's whole cell out of the stretched window).
+        if let Some(g) = next_global {
+            end = end.min(self.cell_start(g));
+        }
+        if let Some(a) = self.store.next_arrival_time() {
+            end = end.min(self.cell_start(a));
+        }
+        end = end.min(self.cell_start(self.config.max_sim_time));
+        // The migration hazard horizon. Active migrations advance from below
+        // only at a *source* step boundary — the migrating request finishing,
+        // being preempted, or draining all surface there, and their barrier
+        // handling (abort + re-kick, `on_drained`'s commit schedule) depends
+        // on the barrier time. A source engine emits nothing before its
+        // in-flight step completes (new steps start only from a completion or
+        // a barrier/global kick, both of which end a window), so the span may
+        // run up to the *end of the cell holding the earliest source step
+        // finish*: that event then meets the same barrier, at the same time,
+        // as in an unstretched run. Idle sources impose no bound.
+        for src in self.coordinator.source_instances() {
+            let finish = self
+                .store
+                .get(src)
+                .and_then(|l| l.engine.in_flight_finish());
+            if let Some(f) = finish {
+                end = end.min(self.cell_start(f) + self.lookahead);
+            }
+        }
+        end.max(base_end)
     }
 
     /// Drains one conservative window across every due shard and applies the
@@ -500,10 +683,10 @@ impl ServingSim {
             .shard_states()
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.queue.peek_time().is_some_and(|t| t < window_end))
+            .filter(|(_, s)| s.peek_time().is_some_and(|t| t < window_end))
             .map(|(i, _)| i)
             .collect();
-        let mut outboxes: Vec<WindowOutbox> = Vec::with_capacity(due.len());
+        let mut outboxes: Vec<(usize, WindowOutbox)> = Vec::with_capacity(due.len());
         match self.pool.as_ref() {
             Some(pool) if due.len() >= 2 => {
                 let workers = pool.workers();
@@ -514,38 +697,77 @@ impl ServingSim {
                     pool.dispatch(w, state, window_end);
                     per_worker[w].push(si);
                 }
-                outboxes.push(drain_window(self.store.shard_mut(due[0]), window_end));
+                outboxes.push((
+                    due[0],
+                    drain_window(self.store.shard_mut(due[0]), window_end),
+                ));
                 for (w, shards) in per_worker.iter().enumerate() {
                     for &si in shards {
                         let (state, out) = pool.collect(w);
                         *self.store.shard_mut(si) = state;
-                        outboxes.push(out);
+                        outboxes.push((si, out));
                     }
                 }
             }
             _ => {
                 for &si in &due {
-                    outboxes.push(drain_window(self.store.shard_mut(si), window_end));
+                    outboxes.push((si, drain_window(self.store.shard_mut(si), window_end)));
                 }
             }
         }
         let mut buffers = Vec::with_capacity(outboxes.len());
         let mut busiest = 0u64;
-        for out in outboxes {
+        let mut window_events = 0u64;
+        let mut active_shards = 0u64;
+        for (si, out) in outboxes {
+            // Live migration handshakes handled since the last barrier ran on
+            // this shard's llumlets (see `handle`): they join its serial
+            // tally for this window.
+            let shard_events = out.events + std::mem::take(&mut self.rpc_tally[si]);
             self.events_processed += out.events;
             self.local_events_applied += out.events;
-            busiest = busiest.max(out.events);
+            window_events += shard_events;
+            busiest = busiest.max(shard_events);
+            active_shards += 1;
             // Zero-stall observations are order-free in the summary's float
             // sum, so they fold here; nonzero stalls ride `StepPending`
             // effects and land in canonical merge order.
             for _ in 0..out.stall_zeros {
                 self.stalls_acc.observe(0.0);
             }
+            // Shard refreshes that saw an instance enter its startup delay:
+            // queue the online re-check (set semantics — shard order and
+            // duplicates are immaterial to the deadline sweep).
+            for id in out.starting {
+                if let Some(until) = self.store.get(id).and_then(|l| l.starting_until) {
+                    self.starting_queue.push((until, id));
+                }
+            }
+            // Mirror the shards' partition updates into the monolithic
+            // cross-check index before any barrier effect can reach a
+            // decision site.
+            #[cfg(debug_assertions)]
+            for report in &out.refreshed {
+                self.index.update(report);
+            }
             buffers.push(out.effects);
         }
-        // Shards drain concurrently: only the busiest one is on the run's
-        // serial critical path this window.
+        // A shard with no local work due can still owe handshake time from
+        // the barriers since its last drain.
+        for tally in &mut self.rpc_tally {
+            let t = std::mem::take(tally);
+            if t > 0 {
+                busiest = busiest.max(t);
+                window_events += t;
+                active_shards += 1;
+            }
+        }
+        // Shards drain (and run their migration handshakes) concurrently:
+        // only the busiest one is on the run's serial critical path this
+        // window.
         self.critical_path_events += busiest;
+        self.window_stats
+            .record(busiest, active_shards, window_events);
         // The barrier: time advances to the window end (cross-shard effects
         // land after the modeled RPC latency), then the merged effects apply
         // in `(time, instance, emission)` order — identical at every K.
@@ -558,8 +780,21 @@ impl ServingSim {
     /// Applies one merged cross-shard effect at the window barrier.
     fn apply_effect(&mut self, key: EffectKey, effect: Effect) {
         self.applied.count(&effect);
+        if let Effect::Arrival(index) = effect {
+            // The dispatch decision runs here, at the barrier: the frontend →
+            // scheduler hop of the arrival rode the same modeled RPC as every
+            // other cross-shard effect. Only arrivals needing a dispatch
+            // decision reach the coordinator; their pops were shard work.
+            self.arrivals_applied += 1;
+            if self.arrivals_applied == self.trace.requests.len() {
+                self.arrivals_done = true;
+            }
+            self.dispatch(index);
+            return;
+        }
         let id = InstanceId(u32::try_from(key.entity).expect("entity is an instance id"));
         match effect {
+            Effect::Arrival(_) => unreachable!("handled above"),
             Effect::Finished(state) => self.apply_finished(state),
             Effect::Engine(ev) => self.route_engine_event(id, ev),
             Effect::HighBatch(batch) => self.high_batch_acc.observe(batch),
@@ -638,6 +873,7 @@ impl ServingSim {
             makespan: self.makespan,
             events_processed: self.events_processed,
             critical_path_events: self.critical_path_events,
+            window_stats: self.window_stats,
             fault_stats,
         }
     }
@@ -647,8 +883,31 @@ impl ServingSim {
     fn handle(&mut self, event: Event) {
         self.events_processed += 1;
         // Coordinator events are inherently serial; in classic mode this
-        // makes the critical path equal to `events_processed`.
-        self.critical_path_events += 1;
+        // makes the critical path equal to `events_processed`. One class is
+        // charged differently in windowed runs: a *live* migration stage or
+        // commit is the paper's Figure 7 handshake, executed pairwise by the
+        // source and destination llumlets — the global scheduler only
+        // initiates migrations, it does not relay their copies. Such an
+        // event's cost lands on both endpoint shards' tallies and rides the
+        // busiest-shard bound of the next window (`run_window`); only stale
+        // events, whose migration is already gone, stay coordinator
+        // bookkeeping.
+        let mut shard_charged = false;
+        if self.windowed {
+            if let Event::MigrationStage(mid) | Event::MigrationCommit(mid) = &event {
+                if let Some((src, dst)) = self.coordinator.endpoints(*mid) {
+                    let (a, b) = (self.store.shard_of(src), self.store.shard_of(dst));
+                    self.rpc_tally[a] += 1;
+                    if b != a {
+                        self.rpc_tally[b] += 1;
+                    }
+                    shard_charged = true;
+                }
+            }
+        }
+        if !shard_charged {
+            self.critical_path_events += 1;
+        }
         match event {
             Event::Arrival(i) => self.on_arrival(i),
             Event::StepDone(id) => self.on_step_done(id),
@@ -703,7 +962,34 @@ impl ServingSim {
                     .dispatch_for(self.config.scheduler, &reports, high)
             }
         };
-        let target = if self.global_down {
+        // The merged-view comparison must also run on pre-advance clones:
+        // the real dispatch below moves the round-robin counter.
+        #[cfg(debug_assertions)]
+        let monolithic = self.windowed.then(|| {
+            if self.global_down {
+                self.bypass_dispatcher.clone().dispatch_indexed(
+                    SchedulerKind::RoundRobin,
+                    &self.index,
+                    false,
+                )
+            } else {
+                self.dispatcher
+                    .clone()
+                    .dispatch_indexed(self.config.scheduler, &self.index, high)
+            }
+        });
+        let target = if self.windowed {
+            // Windowed mode reads the canonical k-way merge over the shard
+            // partitions; the monolithic index is debug-only.
+            let view = self.store.merged_index();
+            if self.global_down {
+                self.bypass_dispatcher
+                    .dispatch_indexed(SchedulerKind::RoundRobin, &view, false)
+            } else {
+                self.dispatcher
+                    .dispatch_indexed(self.config.scheduler, &view, high)
+            }
+        } else if self.global_down {
             // Scheduler-bypass mode (§5): frontends use a simple round-robin
             // rule directly.
             self.bypass_dispatcher
@@ -713,7 +999,15 @@ impl ServingSim {
                 .dispatch_indexed(self.config.scheduler, &self.index, high)
         };
         #[cfg(debug_assertions)]
-        debug_assert_eq!(target, expected, "index diverged from rescan");
+        {
+            debug_assert_eq!(target, expected, "index diverged from rescan");
+            if let Some(monolithic) = monolithic {
+                debug_assert_eq!(
+                    target, monolithic,
+                    "merged partition view diverged from monolithic index"
+                );
+            }
+        }
         target
     }
 
@@ -860,13 +1154,31 @@ impl ServingSim {
     fn on_migration_tick(&mut self) {
         if !self.global_down {
             self.refresh_fleet();
-            let pairs = self.index.pair(self.config.migration_thresholds);
+            let pairs = if self.windowed {
+                self.store
+                    .merged_index()
+                    .pair(self.config.migration_thresholds)
+            } else {
+                self.index.pair(self.config.migration_thresholds)
+            };
             #[cfg(debug_assertions)]
-            debug_assert_eq!(
-                pairs,
-                crate::policy::pair_migrations(&self.reports(), self.config.migration_thresholds),
-                "index pairing diverged from rescan"
-            );
+            {
+                debug_assert_eq!(
+                    pairs,
+                    crate::policy::pair_migrations(
+                        &self.reports(),
+                        self.config.migration_thresholds
+                    ),
+                    "index pairing diverged from rescan"
+                );
+                if self.windowed {
+                    debug_assert_eq!(
+                        pairs,
+                        self.index.pair(self.config.migration_thresholds),
+                        "merged partition pairing diverged from monolithic index"
+                    );
+                }
+            }
             self.pairs = pairs.into_iter().collect();
             let sources: Vec<InstanceId> = self.pairs.keys().copied().collect();
             for src in sources {
@@ -1070,6 +1382,9 @@ impl ServingSim {
             }
         }
         let llumlet = self.store.remove(id).expect("teardown of live instance");
+        if llumlet.terminating {
+            self.terminating_count -= 1;
+        }
         self.index.remove(id);
         self.pairs.remove(&id);
         self.pairs.retain(|_, d| *d != id);
@@ -1096,6 +1411,14 @@ impl ServingSim {
         self.next_instance += 1;
         let engine = InstanceEngine::new(id, self.config.spec.clone(), self.config.engine.clone());
         let starting_until = startup.map(|d| now + d);
+        if let Some(until) = starting_until {
+            // Queue the online re-check immediately (not when a refresh
+            // first observes `became_starting`): the autotuner's quiescence
+            // gate reads this queue, so it must cover a starting instance
+            // from the moment it exists. The refresh's own push (if any)
+            // just duplicates the entry, which the deadline sweep tolerates.
+            self.starting_queue.push((until, id));
+        }
         // `insert` marks the instance dirty, so the next refresh indexes it.
         self.store
             .insert(id, Llumlet::new(engine, now, starting_until));
@@ -1129,17 +1452,35 @@ impl ServingSim {
         self.store.take_dirty(&mut dirty);
         for &id in &dirty {
             let Some(l) = self.store.get(id) else {
-                // Removed after being marked; drop any stale entry.
+                // Removed after being marked; drop any stale entry. (In
+                // release windowed builds the monolithic index is empty and
+                // this is a no-op; the partition entry was dropped by
+                // `ShardedFleet::remove`.)
                 self.index.remove(id);
                 continue;
             };
             let report = l.report(self.now, &self.headroom);
-            if self.index.update(&report).became_starting {
-                let until = l.starting_until.expect("starting implies deadline");
-                self.starting_queue.push((until, id));
+            let until = l.starting_until;
+            // Windowed mode indexes into the shard partitions (bulk-refreshed
+            // inside `drain_window`; this residual pass covers instances the
+            // coordinator itself dirtied since the barrier). The monolithic
+            // index is then maintained only in debug builds, as the
+            // cross-check reference.
+            let became_starting = if self.windowed {
+                #[cfg(debug_assertions)]
+                self.index.update(&report);
+                self.store.partition_update(&report).became_starting
+            } else {
+                self.index.update(&report).became_starting
+            };
+            if became_starting {
+                self.starting_queue
+                    .push((until.expect("starting implies deadline"), id));
             }
         }
         self.dirty_scratch = dirty;
+        // No-op when the monolithic index saw no membership change (always
+        // true in release windowed builds).
         self.index.sync_order(self.store.order());
     }
 
@@ -1376,7 +1717,11 @@ impl ServingSim {
     fn begin_termination(&mut self) {
         // Terminate the serving instance with the fewest running requests.
         self.refresh_fleet();
-        let candidate = self.index.drain_victim();
+        let candidate = if self.windowed {
+            self.store.merged_index().drain_victim()
+        } else {
+            self.index.drain_victim()
+        };
         #[cfg(debug_assertions)]
         {
             let expected = self
@@ -1386,12 +1731,20 @@ impl ServingSim {
                 .min_by_key(|&(id, l)| (l.engine.batch_size(), id))
                 .map(|(id, _)| id);
             debug_assert_eq!(candidate, expected, "index victim diverged from rescan");
+            if self.windowed {
+                debug_assert_eq!(
+                    candidate,
+                    self.index.drain_victim(),
+                    "merged partition victim diverged from monolithic index"
+                );
+            }
         }
         let Some(id) = candidate else {
             return;
         };
         let llumlet = self.store.get_mut(id).expect("candidate");
         llumlet.terminating = true;
+        self.terminating_count += 1;
         // Re-dispatch its queued requests; migration handles the running ones
         // (the fake ∞ request makes it a permanent migration source).
         let waiting = llumlet.engine.waiting_ids();
@@ -1447,6 +1800,7 @@ impl ServingSim {
             return;
         }
         self.store.remove(id);
+        self.terminating_count -= 1;
         self.index.remove(id);
         self.pairs.remove(&id);
         self.pairs.retain(|_, d| *d != id);
@@ -2018,6 +2372,15 @@ mod tests {
         cfg
     }
 
+    fn sharded_no_autotune(mut cfg: ServingConfig, k: usize) -> ServingConfig {
+        cfg.shard = Some(
+            ShardConfig::new(k)
+                .with_autotune(false)
+                .with_force_parallel(),
+        );
+        cfg
+    }
+
     /// Byte-identical-schedule check for the windowed core: every observable
     /// of the run, including float accumulators and event counts, must match.
     fn assert_identical(a: &ServingOutput, b: &ServingOutput) {
@@ -2062,6 +2425,51 @@ mod tests {
         assert_identical(&k1, &k2);
         assert_identical(&k1, &k4);
         assert_identical(&k4, &k4_inline);
+    }
+
+    #[test]
+    fn windowed_autotune_stretching_is_unobservable() {
+        // Autotuned window stretching must not change a single observable —
+        // same records, same float sums, same event count — while actually
+        // merging windows (fewer barriers). Migration pressure plus
+        // autoscaling churn exercises every quiescence gate.
+        let trace = tiny_trace(300, 8.0, 31);
+        let base = tiny_config(SchedulerKind::Llumnix, 4);
+        let on = run_serving(sharded(base.clone(), 2, true), trace.clone());
+        let off = run_serving(sharded_no_autotune(base.clone(), 2), trace.clone());
+        assert_all_complete(trace.len(), &on);
+        assert!(
+            on.window_stats.windows < off.window_stats.windows,
+            "autotuning must merge some windows ({} vs {})",
+            on.window_stats.windows,
+            off.window_stats.windows
+        );
+        assert_identical(&on, &off);
+        // And the stretched schedule stays shard-count independent.
+        let on_k1 = run_serving(sharded(base, 1, false), trace);
+        assert_identical(&on, &on_k1);
+    }
+
+    #[test]
+    fn windowed_autotune_with_autoscaling_is_unobservable() {
+        // Scale-up (starting instances) and scale-down (terminating
+        // instances) both gate stretching; the schedule must be identical
+        // with autotuning on and off through that churn.
+        let trace = tiny_trace(400, 10.0, 34);
+        let scale = AutoScaleConfig {
+            min_instances: 1,
+            max_instances: 8,
+            freeness_low: 10.0,
+            freeness_high: 60.0,
+            sustain: SimDuration::from_secs(2),
+            startup_delay: SimDuration::from_secs(3),
+        };
+        let base = tiny_config(SchedulerKind::Llumnix, 1).with_autoscale(scale);
+        let on = run_serving(sharded(base.clone(), 3, true), trace.clone());
+        let off = run_serving(sharded_no_autotune(base, 3), trace.clone());
+        assert_all_complete(trace.len(), &on);
+        assert!(on.instances.max() > 1.0, "load should trigger scale-up");
+        assert_identical(&on, &off);
     }
 
     #[test]

@@ -25,8 +25,11 @@ use std::collections::BTreeMap;
 use llumnix_engine::{EngineEvent, InstanceEngine, InstanceId, Priority, SeqState, StepKind};
 use llumnix_sim::{EffectKey, EventQueue, SimDuration, SimTime};
 
+use crate::index::{DispatchIndex, IndexPolicy, MergedIndex, UpdateOutcome};
 use crate::llumlet::Llumlet;
+use crate::policy::LoadReport;
 use crate::store::InstanceStore;
+use crate::virtual_usage::HeadroomConfig;
 
 /// Configuration of the sharded windowed simulation core.
 ///
@@ -49,6 +52,14 @@ pub struct ShardConfig {
     /// single CPU (the result is identical either way; this only forces the
     /// parallel code path, e.g. for benches measuring it).
     pub force_parallel: bool,
+    /// Window-length autotuning: when consecutive windows are effect-sparse
+    /// and the coordinator is provably quiescent (no active migrations, no
+    /// terminating or starting instances, no pending global event or arrival
+    /// inside the stretched span), the runner widens windows to integer
+    /// multiples of the lookahead, cutting barrier count on quiet fleets.
+    /// The stretch gates make it unobservable: the schedule is byte-identical
+    /// with autotuning on or off (and at any shard count either way).
+    pub autotune: bool,
 }
 
 impl ShardConfig {
@@ -66,6 +77,7 @@ impl ShardConfig {
             shards,
             lookahead: SimDuration::from_millis(2),
             force_parallel: false,
+            autotune: true,
         }
     }
 
@@ -80,6 +92,14 @@ impl ShardConfig {
         self.force_parallel = true;
         self
     }
+
+    /// Enables or disables window-length autotuning (on by default; the
+    /// schedule is identical either way — this only trades barrier count
+    /// against window granularity).
+    pub fn with_autotune(mut self, autotune: bool) -> Self {
+        self.autotune = autotune;
+        self
+    }
 }
 
 impl Default for ShardConfig {
@@ -88,9 +108,87 @@ impl Default for ShardConfig {
     }
 }
 
+/// Per-window shard-balance statistics of one windowed run: how lopsided the
+/// busiest shard is relative to a perfectly balanced window. A window's
+/// imbalance ratio is `busiest / (total / due_shards)` — 1.0 means every due
+/// shard drained the same number of events, K means one shard did all the
+/// work. The ratio explains `measured_speedup` shortfalls: a high mean points
+/// at partition skew, a low mean with low `speedup` points at barrier
+/// overhead (many tiny windows) instead. Tracked in integer arithmetic only
+/// (the running max cross-multiplies in u128); floats materialize at output.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Conservative windows run.
+    pub windows: u64,
+    /// Σ busiest-shard events over all windows (the windowed share of the
+    /// critical path).
+    pub busiest_events: u64,
+    /// Σ events drained across all due shards over all windows.
+    pub total_events: u64,
+    /// Σ busiest × due-shard-count: numerator of the event-weighted mean
+    /// imbalance ratio (denominator is `total_events`).
+    weighted_num: u64,
+    /// Worst single window's ratio, kept as the exact fraction
+    /// (busiest × due, total).
+    max_num: u64,
+    max_den: u64,
+}
+
+impl WindowStats {
+    /// Folds one window: its busiest shard's event count, the number of due
+    /// shards, and the total events drained.
+    pub(crate) fn record(&mut self, busiest: u64, due: u64, total: u64) {
+        if total == 0 {
+            return;
+        }
+        self.windows += 1;
+        self.busiest_events += busiest;
+        self.total_events += total;
+        let num = busiest * due;
+        self.weighted_num += num;
+        if self.max_den == 0
+            || u128::from(num) * u128::from(self.max_den)
+                > u128::from(self.max_num) * u128::from(total)
+        {
+            self.max_num = num;
+            self.max_den = total;
+        }
+    }
+
+    /// The worst window's busiest-shard ratio (1.0 = balanced, K = one shard
+    /// did everything). 0.0 if no window ran.
+    pub fn imbalance_max(&self) -> f64 {
+        if self.max_den == 0 {
+            0.0
+        } else {
+            self.max_num as f64 / self.max_den as f64
+        }
+    }
+
+    /// Event-weighted mean busiest-shard ratio across windows.
+    pub fn imbalance_mean(&self) -> f64 {
+        if self.total_events == 0 {
+            0.0
+        } else {
+            self.weighted_num as f64 / self.total_events as f64
+        }
+    }
+}
+
+/// Entity-key base for arrival effects: request ids live in a namespace
+/// above every possible instance id (instance entities are `u32` values), so
+/// arrival keys can never collide with instance keys and — at equal
+/// timestamps — sort after them, a fixed shard-count-independent order.
+pub(crate) const ARRIVAL_ENTITY_BASE: u64 = 1 << 32;
+
 /// A cross-shard consequence of shard-local work, applied at the barrier.
 #[derive(Debug)]
 pub(crate) enum Effect {
+    /// A request arrived (pre-partitioned arrival stream, owned by shard
+    /// `request_id mod K`). The payload is the trace index; the coordinator
+    /// dispatches it at the barrier — the arrival → dispatch hop rides the
+    /// same modeled frontend → scheduler RPC as every other effect.
+    Arrival(usize),
     /// A request reached a terminal state (`take_finished` entry).
     Finished(SeqState),
     /// An engine event the coordinator must route (migration aborts on
@@ -120,6 +218,7 @@ pub(crate) enum Effect {
 /// reconcile (the honest-accounting guard for the cross-shard protocol).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct EffectCounts {
+    pub arrivals: u64,
     pub finished: u64,
     pub engine: u64,
     pub high_batch: u64,
@@ -130,6 +229,7 @@ pub(crate) struct EffectCounts {
 impl EffectCounts {
     pub(crate) fn count(&mut self, effect: &Effect) {
         match effect {
+            Effect::Arrival(_) => self.arrivals += 1,
             Effect::Finished(_) => self.finished += 1,
             Effect::Engine(_) => self.engine += 1,
             Effect::HighBatch(_) => self.high_batch += 1,
@@ -138,7 +238,18 @@ impl EffectCounts {
         }
     }
 
+    /// Total effects across every class.
+    pub(crate) fn total(&self) -> u64 {
+        self.arrivals
+            + self.finished
+            + self.engine
+            + self.high_batch
+            + self.steps
+            + self.termination
+    }
+
     fn add(&mut self, other: &EffectCounts) {
+        self.arrivals += other.arrivals;
         self.finished += other.finished;
         self.engine += other.engine;
         self.high_batch += other.high_batch;
@@ -159,11 +270,20 @@ pub(crate) struct WindowOutbox {
     pub stall_zeros: u64,
     /// Local events popped during this window (stale pops included).
     pub events: u64,
+    /// Instances whose end-of-window partition refresh saw them enter their
+    /// startup delay; the coordinator queues their online re-check at the
+    /// barrier (content feeds a set-semantics sweep, so the shard-major
+    /// collection order is immaterial).
+    pub starting: Vec<InstanceId>,
+    /// The reports the end-of-window refresh applied to this shard's
+    /// partition; debug builds mirror them into the monolithic cross-check
+    /// index at the barrier so both sides index byte-identical values.
+    #[cfg(debug_assertions)]
+    pub refreshed: Vec<LoadReport>,
 }
 
 /// One shard: its instances, their step-completion chains, their straggler
-/// state, and its lifetime emission ledgers.
-#[derive(Default)]
+/// state, its dispatch-index partition, and its lifetime emission ledgers.
 pub(crate) struct ShardState {
     /// Slab of this shard's llumlets.
     pub store: InstanceStore,
@@ -176,10 +296,67 @@ pub(crate) struct ShardState {
     /// Centralized mode: polled steps defer to the barrier instead of
     /// scheduling locally.
     pub defer_steps: bool,
+    /// Pre-partitioned arrival stream of this shard, time-ordered:
+    /// `(arrival, trace index, request id)` for every trace request whose id
+    /// routes here (`request_id mod K`). Filled once at setup; `drain_window`
+    /// consumes it through `arrival_cursor` and emits [`Effect::Arrival`]s.
+    pub arrivals: Vec<(SimTime, usize, u64)>,
+    /// Next unconsumed entry of `arrivals`.
+    pub arrival_cursor: usize,
+    /// This shard's dispatch-index partition: the orderings of
+    /// [`DispatchIndex`] restricted to instances that route here, maintained
+    /// from this shard's dirty set at each window end. Decisions read the
+    /// canonical k-way merge ([`ShardedFleet::merged_index`]).
+    pub index: DispatchIndex,
+    /// Headroom config the partition refresh computes reports under (the
+    /// run's effective config, copied at setup).
+    pub headroom: HeadroomConfig,
+    /// Whether `drain_window` folds the dirty set into the partition at the
+    /// window end. Off in classic mode and under the `Gradual` queuing rule
+    /// (whose reports drift with bare time; the coordinator full-sweeps at
+    /// each decision instead).
+    pub refresh_partition: bool,
     /// Lifetime local events popped (reconciled at teardown).
     pub events: u64,
     /// Lifetime effects emitted by class (reconciled at teardown).
     pub emitted: EffectCounts,
+    /// Scratch buffer for the end-of-window dirty drain.
+    dirty_tmp: Vec<InstanceId>,
+}
+
+impl Default for ShardState {
+    fn default() -> Self {
+        ShardState {
+            store: InstanceStore::default(),
+            queue: EventQueue::default(),
+            slow_until: BTreeMap::new(),
+            defer_steps: false,
+            arrivals: Vec::new(),
+            arrival_cursor: 0,
+            index: DispatchIndex::default(),
+            headroom: HeadroomConfig::DISABLED,
+            refresh_partition: false,
+            events: 0,
+            emitted: EffectCounts::default(),
+            dirty_tmp: Vec::new(),
+        }
+    }
+}
+
+impl ShardState {
+    /// When this shard's next arrival lands, if any remain.
+    pub fn next_arrival_time(&self) -> Option<SimTime> {
+        self.arrivals.get(self.arrival_cursor).map(|&(at, _, _)| at)
+    }
+
+    /// Earliest pending local work: the sooner of the next step completion
+    /// and the next arrival.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match (self.queue.peek_time(), self.next_arrival_time()) {
+            (Some(q), Some(a)) => Some(q.min(a)),
+            (q, a) => q.or(a),
+        }
+    }
 }
 
 /// Drains one shard's local events strictly before `window_end`.
@@ -193,9 +370,32 @@ pub(crate) struct ShardState {
 pub(crate) fn drain_window(shard: &mut ShardState, window_end: SimTime) -> WindowOutbox {
     let mut out = WindowOutbox::default();
     loop {
-        match shard.queue.peek_time() {
-            Some(t) if t < window_end => {}
+        // Arrivals and step completions drain in shard-local time order;
+        // arrivals first on a tie (their effect keys sort after instance
+        // keys anyway, so the local tie-break never reaches the barrier).
+        let take_arrival = match (shard.next_arrival_time(), shard.queue.peek_time()) {
+            (None, None) => break,
+            (Some(a), None) if a < window_end => true,
+            (None, Some(q)) if q < window_end => false,
+            (Some(a), Some(q)) if a.min(q) < window_end => a <= q,
             _ => break,
+        };
+        if take_arrival {
+            let (at, index, rid) = shard.arrivals[shard.arrival_cursor];
+            shard.arrival_cursor += 1;
+            out.events += 1;
+            shard.events += 1;
+            let eff = Effect::Arrival(index);
+            shard.emitted.count(&eff);
+            out.effects.push((
+                EffectKey {
+                    at,
+                    entity: ARRIVAL_ENTITY_BASE + rid,
+                    seq: 0,
+                },
+                eff,
+            ));
+            continue;
         }
         let ShardState {
             store,
@@ -204,6 +404,7 @@ pub(crate) fn drain_window(shard: &mut ShardState, window_end: SimTime) -> Windo
             defer_steps,
             events,
             emitted,
+            ..
         } = shard;
         let (at, id) = queue.pop().expect("peeked above");
         out.events += 1;
@@ -262,6 +463,31 @@ pub(crate) fn drain_window(shard: &mut ShardState, window_end: SimTime) -> Windo
         if llumlet.terminating {
             emit(Effect::CheckTermination);
         }
+    }
+    // Shard-local index maintenance: fold this shard's dirty set into its
+    // partition at the window end. The reports computed here are cached on
+    // each llumlet, so the coordinator's residual sweep at a later `now`
+    // reads these exact values back (reports are now-independent outside
+    // the Gradual rule, under which this refresh is disabled).
+    if shard.refresh_partition {
+        let mut dirty = std::mem::take(&mut shard.dirty_tmp);
+        shard.store.take_dirty(&mut dirty);
+        for &id in &dirty {
+            match shard.store.get(id) {
+                Some(l) => {
+                    let report = l.report(window_end, &shard.headroom);
+                    if shard.index.update(&report).became_starting {
+                        out.starting.push(id);
+                    }
+                    #[cfg(debug_assertions)]
+                    out.refreshed.push(report);
+                }
+                // Stale dirty entry: the coordinator removed the instance
+                // (and its partition entry) mid-window.
+                None => shard.index.remove(id),
+            }
+        }
+        shard.dirty_tmp = dirty;
     }
     out
 }
@@ -343,10 +569,12 @@ impl ShardedFleet {
         self.order.push(id);
     }
 
-    /// Removes and returns the llumlet under `id`.
+    /// Removes and returns the llumlet under `id`, dropping it from its
+    /// shard's index partition as well.
     pub fn remove(&mut self, id: InstanceId) -> Option<Llumlet> {
         let s = self.shard_of(id);
         let llumlet = self.shards[s].store.remove(id)?;
+        self.shards[s].index.remove(id);
         self.order.retain(|&i| i != id);
         Some(llumlet)
     }
@@ -429,10 +657,69 @@ impl ShardedFleet {
         self.shards[s].queue.push_coalesced(at, id);
     }
 
-    /// Earliest pending local event across all shards (the next window's
-    /// start). A global property: independent of how instances shard.
+    /// Earliest pending local work across all shards — step completions and
+    /// pre-partitioned arrivals (the next window's start). A global property:
+    /// independent of how instances or requests shard.
     pub fn next_local_time(&self) -> Option<SimTime> {
-        self.shards.iter().filter_map(|s| s.queue.peek_time()).min()
+        self.shards.iter().filter_map(ShardState::peek_time).min()
+    }
+
+    /// Earliest unconsumed arrival across all shards. Equals the original
+    /// trace's next arrival (partitioning never reorders a time-sorted
+    /// stream); the window autotuner uses it to keep stretched windows clear
+    /// of dispatch work.
+    pub fn next_arrival_time(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(ShardState::next_arrival_time)
+            .min()
+    }
+
+    /// Appends one trace arrival to its owning shard's stream (owner =
+    /// `request_id mod K`, a pure function of the id). Must be called in
+    /// trace order: each shard's stream stays time-sorted because the trace
+    /// is.
+    pub fn seed_arrival(&mut self, at: SimTime, index: usize, request_id: u64) {
+        let s = (request_id % self.shards.len() as u64) as usize;
+        debug_assert!(
+            self.shards[s]
+                .arrivals
+                .last()
+                .is_none_or(|&(prev, _, _)| prev <= at),
+            "arrival streams must be seeded in time order"
+        );
+        self.shards[s].arrivals.push((at, index, request_id));
+    }
+
+    /// Configures every shard's dispatch-index partition: the run's index
+    /// policy and headroom, and whether `drain_window` maintains the
+    /// partition from the shard's dirty set (windowed mode outside the
+    /// Gradual rule).
+    pub fn configure_partitions(
+        &mut self,
+        policy: IndexPolicy,
+        headroom: HeadroomConfig,
+        refresh: bool,
+    ) {
+        for shard in &mut self.shards {
+            shard.index = DispatchIndex::new(policy);
+            shard.headroom = headroom;
+            shard.refresh_partition = refresh;
+        }
+    }
+
+    /// The canonical k-way merged read view over the shard partitions, with
+    /// the fleet's insertion-order walk as the round-robin order.
+    pub fn merged_index(&self) -> MergedIndex<'_> {
+        MergedIndex::new(self.shards.iter().map(|s| &s.index).collect(), &self.order)
+    }
+
+    /// Applies a coordinator-side report to the owning shard's partition
+    /// (the residual refresh path: instances the coordinator itself dirtied
+    /// between windows).
+    pub fn partition_update(&mut self, report: &LoadReport) -> UpdateOutcome {
+        let s = self.shard_of(report.id);
+        self.shards[s].index.update(report)
     }
 
     /// The straggler factor in force for `id` at `now`, if any.
@@ -618,5 +905,72 @@ mod tests {
         assert_eq!(f.slow_factor(InstanceId(0), t10), None, "expiry exclusive");
         f.slow_retain(SimTime::from_secs(20));
         assert_eq!(f.slow_factor(InstanceId(0), SimTime::from_secs(1)), None);
+    }
+
+    /// Seeds `arrivals` (trace order) into a `K`-shard fleet and replays the
+    /// full expansion the windowed core performs: repeated `drain_window`
+    /// calls per shard, each window's effect buffers merged at the barrier.
+    /// Returns the merged arrival stream as `(key, trace index)`.
+    fn expand_arrivals(
+        arrivals: &[(SimTime, usize, u64)],
+        k: usize,
+        window: SimDuration,
+    ) -> Vec<(EffectKey, usize)> {
+        let mut fleet = ShardedFleet::new(k, false);
+        for &(at, index, rid) in arrivals {
+            fleet.seed_arrival(at, index, rid);
+        }
+        let mut out = Vec::new();
+        while let Some(start) = fleet.next_local_time() {
+            let end = start + window;
+            let buffers: Vec<_> = (0..k)
+                .map(|s| drain_window(fleet.shard_mut(s), end).effects)
+                .collect();
+            for (key, eff) in llumnix_sim::merge_windowed(buffers) {
+                match eff {
+                    Effect::Arrival(index) => out.push((key, index)),
+                    other => panic!("arrival-only stream emitted {other:?}"),
+                }
+            }
+        }
+        out
+    }
+
+    proptest::proptest! {
+        /// Pre-partitioned arrival expansion is shard-count and
+        /// window-length independent: seeding a time-sorted trace through
+        /// `seed_arrival` at any K and draining it window by window through
+        /// the barrier merge reproduces the single-queue (K = 1) stream
+        /// exactly — same keys, same trace indices — including
+        /// same-timestamp coalesced buckets, which always surface in
+        /// request-id order.
+        #[test]
+        fn partitioned_arrival_expansion_matches_single_queue(
+            gap_ms in proptest::collection::vec(0u64..3, 1..120),
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            // Many zero gaps → plenty of same-timestamp buckets. Request
+            // ids are a non-monotone permutation (odd-multiplier bijection
+            // on u32), so bucket order genuinely rests on the entity key,
+            // not on seeding order.
+            let mut at = SimTime::ZERO;
+            let mut arrivals: Vec<(SimTime, usize, u64)> = Vec::new();
+            for (i, &gap) in gap_ms.iter().enumerate() {
+                at += SimDuration::from_millis(gap);
+                let rid = (i as u64).wrapping_mul(0x9E37_79B1) & 0xFFFF_FFFF;
+                arrivals.push((at, i, rid));
+            }
+            let reference = expand_arrivals(&arrivals, 1, SimDuration::from_millis(2));
+            prop_assert_eq!(reference.len(), arrivals.len());
+            // The single queue surfaces every arrival in strict key order:
+            // time first, request id within a coalesced bucket.
+            for pair in reference.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "keys must strictly increase");
+            }
+            for (k, window_ms) in [(2, 3), (3, 2), (5, 1), (8, 4)] {
+                let got = expand_arrivals(&arrivals, k, SimDuration::from_millis(window_ms));
+                prop_assert_eq!(&got, &reference, "K = {}, window = {} ms", k, window_ms);
+            }
+        }
     }
 }
