@@ -7,7 +7,8 @@
 //! (Gamma arrivals, CV 4) on an auto-scaled fleet while a seeded
 //! [`FaultPlan`] crashes instances (restarting them after 10 s), injects
 //! transient stragglers (1.5-3x slowdowns for 10 s) and takes the migration
-//! link down (5 s outages). Crashed instances' queued and running requests
+//! link down (5 s outages); faults stay active for twice the arrival
+//! window. Crashed instances' queued and running requests
 //! are redispatched through the normal dispatch path, so the headline
 //! metrics are tail-latency inflation and recovery latency — not failed
 //! requests.
@@ -22,11 +23,23 @@
 //! redispatched or aborted exactly once, failure aborts never exceed the
 //! migration coordinator's abort count, and fault-free arms report zero
 //! fault activity.
+//!
+//! Fault plans begin 1 s after the nominal arrival window (n / rate): the
+//! fleet takes load fault-free, then crashes, stragglers and link outages
+//! hit the fully loaded, draining fleet — where recovery actually has work
+//! to redispatch. The fault-free prefix is identical across the three fault
+//! profiles, so `--forked` runs it once per (fleet, scheduler) pair and
+//! forks the profiles from a snapshot; the JSON output is byte-identical
+//! with and without the flag, and the prefix is roughly half of each arm's
+//! compute (see EXPERIMENTS.md for the measured wall-clock ratio).
 
-use llumnix_bench::{build_trace, mean_p99, run_arms, ArmResult, ArmSpec, BenchOpts};
+use llumnix_bench::{
+    build_trace, mean_p99, run_arms, run_arms_forked, ArmResult, ArmSpec, BenchOpts, ForkArm,
+    ForkGroup,
+};
 use llumnix_core::{AutoScaleConfig, FaultPlan, FaultPlanConfig, SchedulerKind, ServingConfig};
 use llumnix_metrics::Table;
-use llumnix_sim::{SimDuration, SimRng};
+use llumnix_sim::{SimDuration, SimRng, SimTime};
 use llumnix_workload::Arrivals;
 
 /// Fault profiles: (label, crash rate per instance-hour). Slowdown and
@@ -36,7 +49,7 @@ const PROFILES: [(&str, f64); 3] = [("none", 0.0), ("low", 2.0), ("high", 8.0)];
 /// Per-arm request rate per instance (req/s), held constant across fleets.
 const RATE_PER_INSTANCE: f64 = 0.15;
 
-fn fault_config(per_instance_rate: f64, fleet: usize) -> FaultPlanConfig {
+fn fault_config(per_instance_rate: f64, fleet: usize, horizon: SimDuration) -> FaultPlanConfig {
     if per_instance_rate <= 0.0 {
         return FaultPlanConfig::none();
     }
@@ -45,7 +58,7 @@ fn fault_config(per_instance_rate: f64, fleet: usize) -> FaultPlanConfig {
         .with_crashes(crash, Some(SimDuration::from_secs(10)))
         .with_slowdowns(2.0 * crash, (1.5, 3.0), SimDuration::from_secs(10))
         .with_link_failures(crash, SimDuration::from_secs(5))
-        .with_horizon(SimDuration::from_secs(1800))
+        .with_horizon(horizon)
 }
 
 /// One JSON row: the standard arm result plus the fault ledger.
@@ -73,6 +86,13 @@ fn main() {
     // only on the sharded windowed core — pass `--shards` too); `--shards N`
     // runs every arm windowed, byte-identical at any `N`.
     let huge = std::env::args().any(|a| a == "--huge");
+    // `--forked` shares each (fleet, scheduler) pair's fault-free warmup
+    // across its three fault profiles via snapshot/fork instead of running
+    // the common prefix three times. Every fault plan begins strictly after
+    // the warmup in *both* modes (a pure time translation of the schedule),
+    // so the JSON output is byte-identical with and without the flag — CI
+    // diffs the two.
+    let forked = std::env::args().any(|a| a == "--forked");
     let mut fleets: Vec<(usize, &[SchedulerKind])> = vec![
         (64, &[SchedulerKind::InfaasPlusPlus, SchedulerKind::Llumnix]),
         (
@@ -88,38 +108,77 @@ fn main() {
     }
 
     let mut arms: Vec<ArmSpec> = Vec::new();
-    // Parallel to `arms`: (fleet, profile label, planned crash count, n).
+    let mut groups: Vec<ForkGroup> = Vec::new();
+    // Parallel to the flattened results: (fleet, profile, planned crashes, n).
     let mut meta: Vec<(usize, &str, usize, usize)> = Vec::new();
     for (fleet, kinds) in fleets.clone() {
         let n = opts.scaled(1_000 * fleet / 64);
         let rate = RATE_PER_INSTANCE * fleet as f64;
-        for (profile, per_inst) in PROFILES {
-            // One plan per (fleet, profile), shared by both schedulers so
-            // they face the identical fault schedule. Generated on the main
-            // thread from a labelled split: the plan is a pure function of
-            // (seed, fleet, profile), whatever the worker-thread count.
-            let plan = FaultPlan::generate(
-                &fault_config(per_inst, fleet),
-                &SimRng::new(opts.seed).split(&format!("fig17/{fleet}/{profile}")),
-            );
-            for &kind in kinds {
-                let mut scale_cfg = AutoScaleConfig::paper_default(fleet as u32);
-                scale_cfg.min_instances = (fleet / 8).max(1) as u32;
-                arms.push(ArmSpec {
-                    config: opts.sharded(
-                        ServingConfig::new(kind, (fleet / 4) as u32)
-                            .with_autoscale(scale_cfg)
-                            .with_faults(plan.clone()),
-                    ),
-                    trace: build_trace("L-L", n, Arrivals::gamma(rate, 4.0), 0.0, opts.seed),
+        // The shared fault-free prefix: the nominal arrival window
+        // (n / rate). Every fault plan is translated to begin 1 s after it,
+        // so the cold and forked runs face the identical fault schedule
+        // (`with_start_offset` is a pure time translation).
+        let warmup_ms = (1_000.0 * n as f64 / rate) as u64;
+        let warmup = SimTime::ZERO + SimDuration::from_millis(warmup_ms);
+        let offset = SimDuration::from_millis(warmup_ms) + SimDuration::from_secs(1);
+        // Faults stay active for twice the arrival window past the offset —
+        // long enough to churn the loaded, draining fleet, short enough not
+        // to spend the sweep crash-looping an idle one (the drained fleet
+        // carries no requests to redispatch, so a longer horizon only adds
+        // restart bookkeeping that dilutes the recovery metrics).
+        let horizon = SimDuration::from_millis(2 * warmup_ms);
+        // One plan per (fleet, profile), shared by both schedulers so they
+        // face the identical fault schedule. Generated on the main thread
+        // from a labelled split: the plan is a pure function of
+        // (seed, fleet, profile), whatever the worker-thread count.
+        let plans: Vec<(&str, FaultPlan)> = PROFILES
+            .iter()
+            .map(|&(profile, per_inst)| {
+                let plan = FaultPlan::generate(
+                    &fault_config(per_inst, fleet, horizon).with_start_offset(offset),
+                    &SimRng::new(opts.seed).split(&format!("fig17/{fleet}/{profile}")),
+                );
+                (profile, plan)
+            })
+            .collect();
+        for &kind in kinds {
+            let mut scale_cfg = AutoScaleConfig::paper_default(fleet as u32);
+            scale_cfg.min_instances = (fleet / 8).max(1) as u32;
+            let config = opts
+                .sharded(ServingConfig::new(kind, (fleet / 4) as u32).with_autoscale(scale_cfg));
+            let trace = build_trace("L-L", n, Arrivals::gamma(rate, 4.0), 0.0, opts.seed);
+            if forked {
+                groups.push(ForkGroup {
+                    config,
+                    trace,
+                    warmup,
                     rate,
                     cv: 4.0,
+                    arms: plans
+                        .iter()
+                        .map(|(_, plan)| ForkArm { plan: plan.clone() })
+                        .collect(),
                 });
+            } else {
+                for (_, plan) in &plans {
+                    arms.push(ArmSpec {
+                        config: config.clone().with_faults(plan.clone()),
+                        trace: trace.clone(),
+                        rate,
+                        cv: 4.0,
+                    });
+                }
+            }
+            for (profile, plan) in &plans {
                 meta.push((fleet, profile, plan.crash_count(), n));
             }
         }
     }
-    let results = run_arms(arms);
+    let results = if forked {
+        run_arms_forked(groups)
+    } else {
+        run_arms(arms)
+    };
 
     let mut table = Table::new(
         "Figure 17: auto-scaling churn under faults (L-L, Gamma CV 4)",

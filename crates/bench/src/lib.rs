@@ -9,11 +9,15 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use llumnix_core::{run_serving, SchedulerKind, ServingConfig, ServingOutput, ShardConfig};
+use llumnix_core::{
+    run_serving, FaultPlan, SchedulerKind, ServingConfig, ServingOutput, ServingSim, ShardConfig,
+    SimSnapshot,
+};
 use llumnix_metrics::LatencyReport;
 use llumnix_sim::SimRng;
 use llumnix_workload::{presets, Arrivals, Trace};
@@ -345,6 +349,18 @@ pub fn run_arm(
     } else {
         started.elapsed().as_secs_f64()
     };
+    package_arm(out, wall, trace_name, scheduler, rate, cv)
+}
+
+/// Flattens a finished run into its [`ArmResult`] row.
+fn package_arm(
+    out: ServingOutput,
+    wall: f64,
+    trace_name: String,
+    scheduler: SchedulerKind,
+    rate: f64,
+    cv: f64,
+) -> (ArmResult, ServingOutput) {
     let report = LatencyReport::from_records(&out.records);
     (
         ArmResult {
@@ -361,6 +377,216 @@ pub fn run_arm(
         },
         out,
     )
+}
+
+// ---- forked sweeps --------------------------------------------------------
+
+/// One forked arm of a [`ForkGroup`]: the fault plan it activates at the
+/// shared fork point ([`FaultPlan::empty`] for the fault-free arm).
+///
+/// Every planned fault must fire strictly after the group's warmup — build
+/// plans with [`llumnix_core::FaultPlanConfig::with_start_offset`] leaving
+/// margin over [`ForkGroup::warmup`].
+pub struct ForkArm {
+    /// Fault plan activated at the fork point.
+    pub plan: FaultPlan,
+}
+
+/// A group of sweep arms sharing one warmed-up simulation prefix.
+///
+/// The group runs `config` (which must carry **no** fault plan) over `trace`
+/// until `warmup`, snapshots, and then forks every arm from that snapshot —
+/// so an `A`-profile and a `B`-profile arm pay for their common fault-free
+/// prefix once instead of once each. The fork is exact: each arm's output is
+/// byte-identical to a cold run configured with its plan from t = 0
+/// (DESIGN.md §13).
+pub struct ForkGroup {
+    /// Fault-free serving configuration shared by every arm.
+    pub config: ServingConfig,
+    /// The workload trace shared by every arm.
+    pub trace: Trace,
+    /// Simulated time to run before snapshotting.
+    pub warmup: llumnix_sim::SimTime,
+    /// Request rate label (req/s).
+    pub rate: f64,
+    /// Arrival-CV label (1.0 for Poisson).
+    pub cv: f64,
+    /// The arms forked from the shared snapshot.
+    pub arms: Vec<ForkArm>,
+}
+
+/// A unit of forked-sweep work: warm a group up (which then enqueues its
+/// forks), or finish one forked arm.
+enum ForkTask {
+    Warm {
+        slot: usize,
+        group: Box<ForkGroup>,
+    },
+    Fork {
+        slot: usize,
+        sim: Box<ServingSim>,
+        labels: ForkLabels,
+    },
+}
+
+/// The row labels a fork inherits from its group.
+#[derive(Clone)]
+struct ForkLabels {
+    trace_name: String,
+    scheduler: SchedulerKind,
+    rate: f64,
+    cv: f64,
+}
+
+/// Warms a group up and turns it into its runnable forks (one resumed,
+/// plan-activated sim per arm), tagged with consecutive result slots
+/// starting at `slot`.
+///
+/// The warmed sim itself becomes the *last* arm rather than a third
+/// resume: a freshly cloned sim pays a measurable per-event locality tax
+/// (its pointer-heavy state reallocates into a heap fragmented by the
+/// snapshot churn), so the group's biggest contiguous state is kept for
+/// one of the real runs and a singleton group never clones at all. The
+/// schedule is identical either way — resume *is* a clone.
+fn warm_group(slot: usize, group: ForkGroup) -> Vec<ForkTask> {
+    let labels = ForkLabels {
+        trace_name: group.trace.name.clone(),
+        scheduler: group.config.scheduler,
+        rate: group.rate,
+        cv: group.cv,
+    };
+    let mut sim = ServingSim::new(group.config, group.trace);
+    sim.run_until(group.warmup);
+    let mut arms = group.arms;
+    let Some(last) = arms.pop() else {
+        return Vec::new();
+    };
+    let mut tasks = Vec::with_capacity(arms.len() + 1);
+    if !arms.is_empty() {
+        let snapshot: SimSnapshot = sim.snapshot();
+        for (i, arm) in arms.into_iter().enumerate() {
+            let mut fork = ServingSim::resume(&snapshot);
+            fork.activate_faults(arm.plan);
+            tasks.push(ForkTask::Fork {
+                slot: slot + i,
+                sim: Box::new(fork),
+                labels: labels.clone(),
+            });
+        }
+    }
+    let slot = slot + tasks.len();
+    sim.activate_faults(last.plan);
+    tasks.push(ForkTask::Fork {
+        slot,
+        sim: Box::new(sim),
+        labels,
+    });
+    tasks
+}
+
+/// Runs one forked arm to completion (its wall-clock covers only the
+/// post-fork run — the warmup is shared).
+fn finish_fork(sim: ServingSim, labels: ForkLabels) -> (ArmResult, ServingOutput) {
+    let started = Instant::now();
+    let out = sim.run();
+    let wall = if canonical_output() {
+        0.0
+    } else {
+        started.elapsed().as_secs_f64()
+    };
+    package_arm(
+        out,
+        wall,
+        labels.trace_name,
+        labels.scheduler,
+        labels.rate,
+        labels.cv,
+    )
+}
+
+/// Runs every group's warmup once and every arm from its group's snapshot,
+/// fanned out across [`num_threads`] worker threads. Results come back
+/// flattened in group-then-arm order — the same order [`run_arms`] returns
+/// for the equivalent cold arms — and each arm's
+/// [`ArmResult::sim_wall_secs`] covers only its post-fork run.
+///
+/// Warmups and forks share one dynamic work queue: a group's forks become
+/// runnable the moment its warmup finishes, so workers never idle behind
+/// the slowest warmup (a two-phase barrier would stall the whole fleet on
+/// the largest group's prefix and give most of the saved work back).
+pub fn run_arms_forked(groups: Vec<ForkGroup>) -> Vec<(ArmResult, ServingOutput)> {
+    let mut total_arms = 0usize;
+    let mut tasks: VecDeque<ForkTask> = VecDeque::new();
+    for group in groups {
+        let slot = total_arms;
+        total_arms += group.arms.len();
+        tasks.push_back(ForkTask::Warm {
+            slot,
+            group: Box::new(group),
+        });
+    }
+    let threads = num_threads().min(tasks.len().max(1));
+    let mut slots: Vec<Option<(ArmResult, ServingOutput)>> = Vec::with_capacity(total_arms);
+    slots.resize_with(total_arms, || None);
+    if threads <= 1 {
+        while let Some(task) = tasks.pop_front() {
+            match task {
+                ForkTask::Warm { slot, group } => {
+                    // Front of the queue, so a group's forks run before the
+                    // next group warms up — same order a cold sweep visits.
+                    for fork in warm_group(slot, *group).into_iter().rev() {
+                        tasks.push_front(fork);
+                    }
+                }
+                ForkTask::Fork { slot, sim, labels } => {
+                    slots[slot] = Some(finish_fork(*sim, labels));
+                }
+            }
+        }
+    } else {
+        let state = Mutex::new((tasks, 0usize)); // (queue, tasks in flight)
+        let ready = std::sync::Condvar::new();
+        let results = Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let mut guard = state.lock().expect("fork queue poisoned");
+                    let task = loop {
+                        if let Some(task) = guard.0.pop_front() {
+                            guard.1 += 1;
+                            break task;
+                        }
+                        if guard.1 == 0 {
+                            return; // Empty queue, nothing running: done.
+                        }
+                        // A running warmup may enqueue forks; wait for it.
+                        guard = ready.wait(guard).expect("fork queue poisoned");
+                    };
+                    drop(guard);
+                    match task {
+                        ForkTask::Warm { slot, group } => {
+                            let forks = warm_group(slot, *group);
+                            let mut guard = state.lock().expect("fork queue poisoned");
+                            guard.0.extend(forks);
+                            guard.1 -= 1;
+                            ready.notify_all();
+                        }
+                        ForkTask::Fork { slot, sim, labels } => {
+                            let done = finish_fork(*sim, labels);
+                            results.lock().expect("fork results poisoned")[slot] = Some(done);
+                            let mut guard = state.lock().expect("fork queue poisoned");
+                            guard.1 -= 1;
+                            ready.notify_all();
+                        }
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every fork slot filled exactly once"))
+        .collect()
 }
 
 /// Builds one of the paper's named traces (`S-S`, `M-M`, …, `ShareGPT`).
@@ -426,6 +652,65 @@ mod tests {
         };
         assert_eq!(opts.scaled(10_000), 1_000);
         assert_eq!(opts.scaled(50), 10, "floor at 10");
+    }
+
+    #[test]
+    fn forked_sweep_matches_cold_byte_for_byte() {
+        use llumnix_core::FaultPlanConfig;
+        use llumnix_sim::{SimDuration, SimTime};
+
+        set_canonical_output(true);
+        let trace = build_trace("S-S", 150, Arrivals::poisson(5.0), 0.0, 7);
+        let base = ServingConfig::new(SchedulerKind::Llumnix, 3)
+            .with_spec(InstanceSpec::tiny_for_tests(2048));
+        let warmup = SimTime::ZERO + SimDuration::from_secs(8);
+        // Fault plans begin after the warmup with margin, so cold runs
+        // (plan configured from t = 0) and forks (plan activated at the
+        // snapshot) face the same schedule.
+        let plan = |rate: f64| {
+            let cfg = FaultPlanConfig::none()
+                .with_crashes(rate, Some(SimDuration::from_secs(2)))
+                .with_horizon(SimDuration::from_secs(600))
+                .with_start_offset(SimDuration::from_secs(10));
+            FaultPlan::generate(&cfg, &SimRng::new(7))
+        };
+        let plans = [FaultPlan::empty(), plan(400.0), plan(900.0)];
+        let cold = run_arms(
+            plans
+                .iter()
+                .map(|p| ArmSpec {
+                    config: base.clone().with_faults(p.clone()),
+                    trace: trace.clone(),
+                    rate: 5.0,
+                    cv: 1.0,
+                })
+                .collect(),
+        );
+        let forked = run_arms_forked(vec![ForkGroup {
+            config: base,
+            trace,
+            warmup,
+            rate: 5.0,
+            cv: 1.0,
+            arms: plans.into_iter().map(|plan| ForkArm { plan }).collect(),
+        }]);
+        assert_eq!(cold.len(), forked.len());
+        for ((ca, co), (fa, fo)) in cold.iter().zip(&forked) {
+            // The serialized rows are what CI byte-diffs.
+            assert_eq!(
+                llumnix_metrics::to_json(ca),
+                llumnix_metrics::to_json(fa),
+                "rows must serialize identically"
+            );
+            assert_eq!(co.events_processed, fo.events_processed);
+            assert_eq!(co.makespan, fo.makespan);
+            assert_eq!(co.fault_stats, fo.fault_stats);
+        }
+        assert!(
+            forked[1].1.fault_stats.crashes > 0,
+            "fault arms must actually crash"
+        );
+        set_canonical_output(false);
     }
 
     #[test]

@@ -148,6 +148,10 @@ pub struct UpdateOutcome {
 }
 
 /// The incremental dispatch/pairing/termination index.
+///
+/// `Clone` supports the sim-level snapshot/fork capability (all orderings are
+/// plain `BTreeSet`s/`Vec`s, so a clone is an independent, identical index).
+#[derive(Clone)]
 pub struct DispatchIndex {
     policy: IndexPolicy,
     /// `InstanceId.0 → last applied report` — the persistent report buffer.

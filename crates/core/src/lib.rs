@@ -31,7 +31,9 @@ pub use policy::{
     pair_migrations, AutoScaleConfig, AutoScaler, Dispatcher, LoadReport, MigrationThresholds,
     ScaleAction, SchedulerKind, VictimPolicy,
 };
-pub use serving::{run_serving, FailureSpec, ServingConfig, ServingOutput, ServingSim};
+pub use serving::{
+    run_serving, FailureSpec, ServingConfig, ServingOutput, ServingSim, SimSnapshot,
+};
 pub use shard::{ShardConfig, WindowStats};
 pub use store::InstanceStore;
 pub use virtual_usage::{

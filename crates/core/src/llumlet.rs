@@ -14,6 +14,10 @@ use crate::policy::{LoadReport, VictimPolicy};
 use crate::virtual_usage::{engine_freeness, infaas_memory_load, HeadroomConfig, QueuingRule};
 
 /// One instance plus its local scheduler state.
+///
+/// `Clone` supports the sim-level snapshot/fork capability; the memoized
+/// report cache is `Copy` inside a `Cell`, so the clone keeps the warm cache.
+#[derive(Clone)]
 pub struct Llumlet {
     /// The wrapped engine.
     pub engine: InstanceEngine,

@@ -325,6 +325,100 @@ pub struct ServingSim {
     rpc_tally: Vec<u64>,
     /// See [`ServingOutput::window_stats`].
     window_stats: WindowStats,
+    /// Initial events (arrivals, ticks, scripted failures, fault chain) have
+    /// been seeded. Flips on the first `run`/`run_until` call, so a snapshot
+    /// taken before any progress forks cleanly.
+    seeded: bool,
+    /// The run crossed `max_sim_time` and must not process further events.
+    halted: bool,
+}
+
+/// A deterministic snapshot of a running [`ServingSim`].
+///
+/// Structurally a deep copy of every piece of simulation state: the event
+/// queue (both tiers plus the sequence counter), the instance store with
+/// every engine's batches and block ledgers, the dispatch-index partitions,
+/// the migration coordinator's reservations and handshake stages, the fault
+/// maps, and all metric accumulators. The only thing *not* captured is the
+/// worker-thread pool — pure drain plumbing, recreated lazily on resume —
+/// and there is no hidden ambient state to miss: the deterministic crates
+/// ban wall-clock reads and unordered iteration statically (`xtask lint`),
+/// and all randomness (trace, fault plans) is expanded before t = 0.
+///
+/// The resume invariant: for any point `t` between two units of work,
+/// `snapshot` → [`ServingSim::resume`] → run-to-completion produces the
+/// byte-identical [`ServingOutput`] the uninterrupted run produces, at any
+/// `--threads`/`--shards` setting (DESIGN.md §13).
+#[derive(Clone)]
+pub struct SimSnapshot {
+    state: Box<ServingSim>,
+}
+
+impl Clone for ServingSim {
+    /// A structural deep copy of the full simulation state — the basis of
+    /// [`ServingSim::snapshot`]. Every field is a plain ordered container or
+    /// scalar except the worker pool, which holds live threads: the clone
+    /// starts with `pool: None` and the windowed loop recreates it lazily.
+    /// Whether the pool exists only changes which thread computes a window
+    /// drain, never the drain itself, so the clone's schedule is unchanged.
+    fn clone(&self) -> Self {
+        ServingSim {
+            config: self.config.clone(),
+            trace: self.trace.clone(),
+            high_ids: self.high_ids.clone(),
+            queue: self.queue.clone(),
+            now: self.now,
+            store: self.store.clone(),
+            index: self.index.clone(),
+            headroom: self.headroom,
+            refresh_all: self.refresh_all,
+            starting_queue: self.starting_queue.clone(),
+            dirty_scratch: self.dirty_scratch.clone(),
+            next_instance: self.next_instance,
+            dispatcher: self.dispatcher.clone(),
+            bypass_dispatcher: self.bypass_dispatcher.clone(),
+            coordinator: self.coordinator.clone(),
+            pairs: self.pairs.clone(),
+            scaler: self.scaler.clone(),
+            central: self.central.clone(),
+            global_down: self.global_down,
+            undispatched: self.undispatched.clone(),
+            records: self.records.clone(),
+            aborted: self.aborted,
+            stalls_acc: self.stalls_acc.clone(),
+            fragmentation: self.fragmentation.clone(),
+            free_blocks: self.free_blocks.clone(),
+            hol_satisfiable: self.hol_satisfiable.clone(),
+            queued: self.queued.clone(),
+            instances_ts: self.instances_ts.clone(),
+            arrivals_done: self.arrivals_done,
+            arrivals_applied: self.arrivals_applied,
+            makespan: self.makespan,
+            fault_stats: self.fault_stats.clone(),
+            recovery_acc: self.recovery_acc.clone(),
+            crash_lost_at: self.crash_lost_at.clone(),
+            link_down_until: self.link_down_until.clone(),
+            high_batch_acc: self.high_batch_acc.clone(),
+            order_scratch: self.order_scratch.clone(),
+            events_processed: self.events_processed,
+            sample_interval: self.sample_interval,
+            migration_interval: self.migration_interval,
+            windowed: self.windowed,
+            lookahead: self.lookahead,
+            autotune: self.autotune,
+            stretch_mult: self.stretch_mult,
+            terminating_count: self.terminating_count,
+            force_parallel: self.force_parallel,
+            pool: None,
+            applied: self.applied,
+            local_events_applied: self.local_events_applied,
+            critical_path_events: self.critical_path_events,
+            rpc_tally: self.rpc_tally.clone(),
+            window_stats: self.window_stats,
+            seeded: self.seeded,
+            halted: self.halted,
+        }
+    }
 }
 
 /// Coarsening factor for the periodic sampling and migration ticks.
@@ -368,6 +462,10 @@ impl ServingSim {
             .map(|r| r.id)
             .collect();
         let headroom = effective_headroom(&config);
+        // First point where the headroom config meets a concrete instance
+        // spec: a target above the KV capacity would silently clamp to zero
+        // headroom (see `HeadroomConfig::headroom_for`); fail loudly here.
+        headroom.validate_for_capacity(config.spec.geometry.capacity_tokens());
         let refresh_all = matches!(headroom.queuing_rule, QueuingRule::Gradual { .. });
         let index = DispatchIndex::new(IndexPolicy::for_run(
             config.scheduler,
@@ -442,8 +540,12 @@ impl ServingSim {
             applied: EffectCounts::default(),
             local_events_applied: 0,
             critical_path_events: 0,
-            rpc_tally: Vec::new(),
+            // Sized up front (not at `run_windowed` entry) so a snapshot
+            // taken mid-run carries the handshake tallies.
+            rpc_tally: vec![0; shard_count],
             window_stats: WindowStats::default(),
+            seeded: false,
+            halted: false,
         };
         if sim.windowed {
             // Shard-local index maintenance: each shard folds its own dirty
@@ -464,26 +566,129 @@ impl ServingSim {
 
     /// Runs the simulation to completion and returns the measurements.
     pub fn run(mut self) -> ServingOutput {
-        if self.trace.is_empty() {
-            return self.into_output();
-        }
-        self.seed_events();
+        self.ensure_seeded();
         if self.windowed {
-            self.run_windowed();
+            self.run_windowed_until(None);
         } else {
-            while let Some((at, event)) = self.queue.pop() {
-                debug_assert!(at >= self.now, "time went backwards");
-                self.now = at;
-                if self.now > self.config.max_sim_time {
-                    break;
-                }
-                self.handle(event);
-            }
+            self.run_classic_until(None);
         }
         self.into_output()
     }
 
+    /// Advances the simulation until the next unit of work would start at or
+    /// after `until` (an event pop in classic mode; a global event or window
+    /// opening in windowed mode — windows drain whole, so progress may run
+    /// past `until` by up to one window). Returns the simulation time
+    /// reached. Seeds the initial events on the first call; [`Self::run`]
+    /// completes the run afterwards.
+    ///
+    /// The snapshot/fork workflow: `run_until(t)`, [`Self::snapshot`] the
+    /// warm prefix, then [`Self::resume`] each fork — optionally activating
+    /// a fault plan via [`Self::activate_faults`] — and `run` it to
+    /// completion.
+    pub fn run_until(&mut self, until: SimTime) -> SimTime {
+        self.ensure_seeded();
+        if self.windowed {
+            self.run_windowed_until(Some(until));
+        } else {
+            self.run_classic_until(Some(until));
+        }
+        self.now
+    }
+
+    /// Captures the current state as a deterministic [`SimSnapshot`].
+    ///
+    /// Callable whenever the caller has control (the sim is then always
+    /// between units of work). Cost: one structural deep copy — no
+    /// serialization, no thread state (see [`SimSnapshot`]).
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            state: Box::new(self.clone()),
+        }
+    }
+
+    /// Reconstructs an independent simulation from a snapshot. The resumed
+    /// run continues byte-identically to the run the snapshot was taken
+    /// from; resuming the same snapshot repeatedly forks independent runs.
+    pub fn resume(snapshot: &SimSnapshot) -> ServingSim {
+        (*snapshot.state).clone()
+    }
+
+    /// Activates a fault plan on a (possibly resumed) simulation whose
+    /// config carried none — the forked-sweep path for sharing a fault-free
+    /// warmup across fault arms.
+    ///
+    /// The injected `PlannedFault(0)` event takes the tie-break slot below
+    /// every pending event, exactly where seeding would have put it, so a
+    /// fork that activates a plan matches the cold run configured with the
+    /// same plan from t = 0 — provided every planned fault fires strictly
+    /// after the fork point (build plans with
+    /// [`llumnix_faults::FaultPlanConfig::with_start_offset`]).
+    pub fn activate_faults(&mut self, plan: FaultPlan) {
+        assert!(
+            self.config.fault_plan.get(0).is_none(),
+            "activate_faults on a sim that already has a fault plan"
+        );
+        let Some(first) = plan.get(0).copied() else {
+            return; // Empty plan: nothing to schedule (the "none" arm).
+        };
+        assert!(
+            first.at >= self.now,
+            "fault plan begins at {:?}, before the fork point {:?}",
+            first.at,
+            self.now
+        );
+        self.config.fault_plan = plan;
+        if self.seeded {
+            self.queue
+                .push_below_pending(first.at, Event::PlannedFault(0));
+        }
+        // Not seeded yet: seed_events picks the plan up normally.
+    }
+
+    fn ensure_seeded(&mut self) {
+        if self.seeded {
+            return;
+        }
+        self.seeded = true;
+        if self.trace.is_empty() {
+            self.halted = true;
+            return;
+        }
+        self.seed_events();
+    }
+
+    fn run_classic_until(&mut self, until: Option<SimTime>) {
+        while !self.halted {
+            let Some(t) = self.queue.peek_time() else {
+                break;
+            };
+            if until.is_some_and(|u| t >= u) {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked above");
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            if self.now > self.config.max_sim_time {
+                self.halted = true;
+                break;
+            }
+            self.handle(event);
+        }
+    }
+
     fn seed_events(&mut self) {
+        // The fault chain seeds first, before any same-instant arrival or
+        // tick, so `PlannedFault(0)` holds the lowest pending sequence
+        // number — the slot `activate_faults` reproduces when a fork injects
+        // a plan mid-run. (A uniform seq shift of the other seeds, so their
+        // relative order — and every fault-free schedule — is unchanged.)
+        if let Some(first) = self.config.fault_plan.get(0) {
+            // Planned faults chain like arrivals: exactly one in-queue event
+            // at a time, so a long fault horizon cannot keep a drained
+            // simulation alive.
+            self.queue.push(first.at, Event::PlannedFault(0));
+        }
         if self.windowed {
             // Pre-partitioned arrival streams (DESIGN.md §12): the trace
             // expands into K shard-local sequences once, up front. Arrivals
@@ -512,12 +717,6 @@ impl ServingSim {
             };
             self.queue.push(at, Event::Fail(i));
         }
-        if let Some(first) = self.config.fault_plan.get(0) {
-            // Planned faults chain like arrivals: exactly one in-queue event
-            // at a time, so a long fault horizon cannot keep a drained
-            // simulation alive.
-            self.queue.push(first.at, Event::PlannedFault(0));
-        }
     }
 
     /// The windowed main loop (DESIGN.md §10): coordinator events interleave
@@ -528,19 +727,28 @@ impl ServingSim {
     /// apply at the barrier in canonical key order. Coordinator events whose
     /// time falls inside an already-opened window run after its barrier —
     /// the coordinator → llumlet direction of the same modeled RPC latency.
-    fn run_windowed(&mut self) {
+    ///
+    /// With `until` set, stops before the first global event or window
+    /// opening at or past it (windows drain whole). Window composition —
+    /// cell start, stretch, quiescence gates — is a pure function of the
+    /// snapshotted state, so a stopped-and-resumed run opens the exact
+    /// windows the uninterrupted run opens.
+    fn run_windowed_until(&mut self, until: Option<SimTime>) {
         let k = self.store.shard_count();
-        self.rpc_tally = vec![0; k];
-        let host_parallel =
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1;
-        if k > 1 && (self.force_parallel || host_parallel) {
-            // K - 1 workers: the coordinator thread drains one due shard
-            // itself while the workers drain the rest. Whether the pool
-            // exists only changes which thread computes a drain, never the
-            // drain itself; inline and pooled runs produce the same bytes.
-            self.pool = Some(ShardPool::new(k - 1, drain_window));
+        if self.pool.is_none() {
+            let host_parallel =
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1;
+            if k > 1 && (self.force_parallel || host_parallel) {
+                // K - 1 workers: the coordinator thread drains one due shard
+                // itself while the workers drain the rest. Whether the pool
+                // exists only changes which thread computes a drain, never
+                // the drain itself; inline and pooled runs produce the same
+                // bytes. Created lazily (not in `new`) so snapshots — which
+                // cannot carry threads — recreate it transparently here.
+                self.pool = Some(ShardPool::new(k - 1, drain_window));
+            }
         }
-        loop {
+        while !self.halted {
             let next_local = self.store.next_local_time();
             let next_global = self.queue.peek_time();
             let take_global = match (next_global, next_local) {
@@ -553,8 +761,13 @@ impl ServingSim {
                 (Some(g), Some(l)) => g <= l,
             };
             if take_global {
+                let g = next_global.expect("global side chosen");
+                if until.is_some_and(|u| g >= u) {
+                    break;
+                }
                 let (at, event) = self.queue.pop().expect("peeked above");
                 if at > self.config.max_sim_time {
+                    self.halted = true;
                     break;
                 }
                 // A global event inside the last window's horizon executes
@@ -563,7 +776,11 @@ impl ServingSim {
                 self.handle(event);
             } else {
                 let start = next_local.expect("local side chosen");
+                if until.is_some_and(|u| start >= u) {
+                    break;
+                }
                 if start > self.config.max_sim_time {
+                    self.halted = true;
                     break;
                 }
                 // Windows are cells of the lookahead lattice: the window
@@ -590,12 +807,6 @@ impl ServingSim {
                 };
             }
         }
-        // Handshake work attributed after the last window closed (tail
-        // commits): the endpoint shards still execute it concurrently, so
-        // only the busiest tally joins the critical path.
-        let leftover = self.rpc_tally.iter().copied().max().unwrap_or(0);
-        self.critical_path_events += leftover;
-        self.rpc_tally.iter_mut().for_each(|t| *t = 0);
     }
 
     /// Start of the lookahead-lattice cell containing `t`.
@@ -821,7 +1032,14 @@ impl ServingSim {
     }
 
     fn into_output(self) -> ServingOutput {
+        let mut critical_path_events = self.critical_path_events;
         if self.windowed {
+            // Handshake work attributed after the last window closed (tail
+            // commits): the endpoint shards still execute it concurrently,
+            // so only the busiest tally joins the critical path. Folded here
+            // — the true end of the run — rather than in the windowed loop,
+            // which `run_until` may enter many times.
+            critical_path_events += self.rpc_tally.iter().copied().max().unwrap_or(0);
             // Barrier-teardown reconciliation (the sharded honest-accounting
             // guard): the partition must be structurally sound and every
             // effect the shards emitted must have been applied by the
@@ -872,7 +1090,7 @@ impl ServingSim {
             high_step_batches: self.high_batch_acc.finish(),
             makespan: self.makespan,
             events_processed: self.events_processed,
-            critical_path_events: self.critical_path_events,
+            critical_path_events,
             window_stats: self.window_stats,
             fault_stats,
         }
@@ -2536,6 +2754,180 @@ mod tests {
             "high-priority batches observed"
         );
         assert_identical(&k1, &k2);
+    }
+
+    /// Full-output equality for snapshot round-trips: everything
+    /// `assert_identical` checks, plus the diagnostics it deliberately
+    /// skips (critical-path accounting, window statistics, time-series
+    /// samples). A pure snapshot/resume must reproduce even the
+    /// observables that forked fault arms are allowed to perturb
+    /// (DESIGN.md §13).
+    fn assert_outputs_bitwise(a: &ServingOutput, b: &ServingOutput) {
+        assert_identical(a, b);
+        assert_eq!(a.critical_path_events, b.critical_path_events);
+        assert_eq!(a.window_stats, b.window_stats);
+        for (s, t) in [
+            (&a.fragmentation, &b.fragmentation),
+            (&a.free_blocks, &b.free_blocks),
+            (&a.hol_satisfiable, &b.hol_satisfiable),
+            (&a.queued, &b.queued),
+            (&a.instances, &b.instances),
+        ] {
+            assert_eq!(s.points(), t.points(), "series {} must match", s.name);
+        }
+    }
+
+    /// Runs `cfg` over `trace` twice — uninterrupted, and snapshotted at
+    /// `fork_at` then resumed — and demands bitwise-identical outputs.
+    /// Also checks the snapshot is non-destructive: the donor sim keeps
+    /// running to the same output after being snapshotted.
+    fn assert_snapshot_roundtrip(
+        cfg: ServingConfig,
+        trace: Trace,
+        fork_at: SimTime,
+    ) -> ServingOutput {
+        let cold = ServingSim::new(cfg.clone(), trace.clone()).run();
+        let mut warm = ServingSim::new(cfg, trace);
+        let reached = warm.run_until(fork_at);
+        assert!(reached > SimTime::ZERO, "fork point must see progress");
+        let snap = warm.snapshot();
+        let resumed = ServingSim::resume(&snap).run();
+        assert_outputs_bitwise(&cold, &resumed);
+        let continued = warm.run();
+        assert_outputs_bitwise(&cold, &continued);
+        cold
+    }
+
+    #[test]
+    fn snapshot_roundtrip_classic() {
+        let trace = tiny_trace(300, 8.0, 41);
+        let cfg = tiny_config(SchedulerKind::Llumnix, 4);
+        let out = assert_snapshot_roundtrip(cfg, trace.clone(), SimTime::from_secs(8));
+        assert_all_complete(trace.len(), &out);
+        assert!(
+            out.migration_stats.started > 0,
+            "fork under migration pressure"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_windowed_shards() {
+        let trace = tiny_trace(300, 8.0, 42);
+        let base = tiny_config(SchedulerKind::Llumnix, 4);
+        let out = assert_snapshot_roundtrip(
+            sharded(base.clone(), 4, true),
+            trace.clone(),
+            SimTime::from_secs(8),
+        );
+        assert_all_complete(trace.len(), &out);
+        assert!(out.migration_stats.started > 0);
+        // Fixed (non-autotuned) windows restore the same schedule too.
+        assert_snapshot_roundtrip(sharded_no_autotune(base, 4), trace, SimTime::from_secs(8));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_pending_faults_and_restarts() {
+        let trace = tiny_trace(200, 5.0, 43);
+        let cfg = tiny_config(SchedulerKind::Llumnix, 3).with_faults(churn_plan(43, 900.0));
+        // Fork mid-churn: planned faults already fired, more pending, and
+        // crashed instances possibly mid-restart at the fork point.
+        let out = assert_snapshot_roundtrip(cfg.clone(), trace.clone(), SimTime::from_secs(10));
+        assert!(out.fault_stats.crashes > 0, "plan should fire crashes");
+        assert_snapshot_roundtrip(sharded(cfg, 3, true), trace, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_autoscaling() {
+        let trace = tiny_trace(400, 10.0, 44);
+        let scale = AutoScaleConfig {
+            min_instances: 1,
+            max_instances: 8,
+            freeness_low: 10.0,
+            freeness_high: 60.0,
+            sustain: SimDuration::from_secs(2),
+            startup_delay: SimDuration::from_secs(3),
+        };
+        let base = tiny_config(SchedulerKind::Llumnix, 1).with_autoscale(scale);
+        let out = assert_snapshot_roundtrip(sharded(base, 3, true), trace, SimTime::from_secs(10));
+        assert!(out.instances.max() > 1.0, "load should trigger scale-up");
+    }
+
+    #[test]
+    fn snapshot_before_any_progress_forks_cleanly() {
+        let trace = tiny_trace(120, 4.0, 45);
+        let cfg = tiny_config(SchedulerKind::Llumnix, 4);
+        let cold = run_serving(cfg.clone(), trace.clone());
+        // Snapshot of an unseeded sim: resume seeds on its first run, and
+        // two resumes of one snapshot fork fully independent runs.
+        let sim = ServingSim::new(cfg, trace);
+        let snap = sim.snapshot();
+        let a = ServingSim::resume(&snap).run();
+        let b = ServingSim::resume(&snap).run();
+        assert_outputs_bitwise(&cold, &a);
+        assert_outputs_bitwise(&a, &b);
+    }
+
+    #[test]
+    fn forked_fault_arms_match_cold_runs_classic() {
+        let trace = tiny_trace(200, 5.0, 46);
+        let base = tiny_config(SchedulerKind::Llumnix, 3);
+        // Every planned fault must fire strictly after the fork point; the
+        // start offset leaves margin over the 10 s fork.
+        let plan = |rate: f64| {
+            let cfg = llumnix_faults::FaultPlanConfig::none()
+                .with_crashes(rate, Some(SimDuration::from_secs(2)))
+                .with_horizon(SimDuration::from_secs(600))
+                .with_start_offset(SimDuration::from_secs(12));
+            FaultPlan::generate(&cfg, &SimRng::new(46))
+        };
+        let mut warm = ServingSim::new(base.clone(), trace.clone());
+        warm.run_until(SimTime::from_secs(10));
+        let snap = warm.snapshot();
+        for p in [plan(400.0), plan(900.0)] {
+            assert!(p.get(0).is_some(), "plan must fire inside the trace");
+            let cold = run_serving(base.clone().with_faults(p.clone()), trace.clone());
+            assert!(cold.fault_stats.crashes > 0, "plan should fire");
+            let mut fork = ServingSim::resume(&snap);
+            fork.activate_faults(p);
+            // Classic mode has no windows to perturb: full equality holds
+            // between the forked arm and the cold run configured with the
+            // same plan from t = 0.
+            assert_outputs_bitwise(&cold, &fork.run());
+        }
+        // The "none" arm is an empty plan — a plain resume.
+        let none = FaultPlan::generate(&llumnix_faults::FaultPlanConfig::none(), &SimRng::new(0));
+        let cold_none = run_serving(base, trace);
+        let mut fork = ServingSim::resume(&snap);
+        fork.activate_faults(none);
+        assert_outputs_bitwise(&cold_none, &fork.run());
+    }
+
+    #[test]
+    fn forked_fault_arms_match_cold_runs_windowed() {
+        let trace = tiny_trace(200, 6.0, 47);
+        let base = sharded(tiny_config(SchedulerKind::Llumnix, 3), 3, true);
+        let cfg = llumnix_faults::FaultPlanConfig::none()
+            .with_crashes(700.0, Some(SimDuration::from_secs(2)))
+            .with_slowdowns(1200.0, (2.0, 3.0), SimDuration::from_secs(5))
+            .with_link_failures(600.0, SimDuration::from_secs(2))
+            .with_horizon(SimDuration::from_secs(600))
+            .with_start_offset(SimDuration::from_secs(10));
+        let plan = FaultPlan::generate(&cfg, &SimRng::new(47));
+        let cold = run_serving(base.clone().with_faults(plan.clone()), trace.clone());
+        assert!(!cold.fault_stats.quiet(), "faults should fire");
+        assert_all_complete(trace.len(), &cold);
+        let mut warm = ServingSim::new(base, trace);
+        // Windows drain whole, so the fork lands at ≤ 8 s + one window —
+        // still safely before the 10 s fault offset.
+        warm.run_until(SimTime::from_secs(8));
+        let fork = ServingSim::resume(&warm.snapshot());
+        let mut fork = fork;
+        fork.activate_faults(plan);
+        // The pending fault event can clamp autotuned window stretching
+        // during the cold warmup where the fault-free forked warmup is not
+        // clamped, so window diagnostics are exempt; the schedule itself
+        // must match byte for byte (DESIGN.md §13).
+        assert_identical(&cold, &fork.run());
     }
 
     #[test]

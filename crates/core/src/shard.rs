@@ -284,6 +284,8 @@ pub(crate) struct WindowOutbox {
 
 /// One shard: its instances, their step-completion chains, their straggler
 /// state, its dispatch-index partition, and its lifetime emission ledgers.
+/// `Clone` supports the sim-level snapshot/fork capability.
+#[derive(Clone)]
 pub(crate) struct ShardState {
     /// Slab of this shard's llumlets.
     pub store: InstanceStore,
@@ -501,6 +503,8 @@ pub(crate) fn drain_window(shard: &mut ShardState, window_end: SimTime) -> Windo
 /// shards; the only K-dependent observable is the order of the combined
 /// dirty drain (shard-major), which feeds content-commutative index updates
 /// only (DESIGN.md §10.4).
+/// `Clone` supports the sim-level snapshot/fork capability.
+#[derive(Clone)]
 pub(crate) struct ShardedFleet {
     shards: Vec<ShardState>,
     /// Live instances in global insertion order — the deterministic sweep

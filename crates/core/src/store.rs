@@ -25,7 +25,10 @@ use crate::llumlet::Llumlet;
 const NO_SLOT: u32 = u32::MAX;
 
 /// Slab of llumlets with O(1) id-indexed access and stable iteration order.
-#[derive(Default)]
+///
+/// `Clone` supports the sim-level snapshot/fork capability: slots, free list,
+/// id map, order walk, and dirty set all copy structurally.
+#[derive(Default, Clone)]
 pub struct InstanceStore {
     /// Slot payloads; `None` entries are on the free list.
     slots: Vec<Option<Llumlet>>,

@@ -91,8 +91,32 @@ impl HeadroomConfig {
         self
     }
 
+    /// Debug-asserts that the headroom target fits the instance geometry.
+    ///
+    /// A target above the KV capacity is a misconfiguration — [`Self::headroom_for`]
+    /// would silently clamp it to zero headroom, which *looks* like "no free
+    /// space for high priority" instead of failing loudly. Call this wherever
+    /// a `HeadroomConfig` is first paired with a concrete instance spec (the
+    /// config alone does not know the capacity).
+    pub fn validate_for_capacity(&self, capacity_tokens: u32) {
+        if let Some(target) = self.high_priority_target_tokens {
+            debug_assert!(
+                target <= capacity_tokens,
+                "high_priority_target_tokens ({target}) exceeds instance KV capacity \
+                 ({capacity_tokens} tokens): the headroom would clamp to 0, masking the \
+                 misconfiguration as zero free space"
+            );
+        }
+    }
+
     /// Total headroom (tokens) granted to priority `p` on an instance with
     /// `capacity_tokens` of KV space.
+    ///
+    /// The subtraction saturates: if `target > capacity_tokens` the headroom
+    /// clamps to 0 (no free space ever reported to high priority) rather than
+    /// wrapping. That configuration is invalid — [`Self::validate_for_capacity`]
+    /// debug-asserts against it where the config meets an instance spec — but
+    /// release builds degrade to the clamp instead of panicking mid-sweep.
     pub fn headroom_for(&self, p: Priority, capacity_tokens: u32) -> f64 {
         match (p, self.high_priority_target_tokens) {
             (Priority::High, Some(target)) => capacity_tokens.saturating_sub(target) as f64,
@@ -402,6 +426,39 @@ mod tests {
         let cfg = HeadroomConfig::DISABLED;
         let v = view(vec![resident(500, Priority::High)]);
         assert_eq!(virtual_usage(&v.requests[0], &v, &cfg), 500.0);
+    }
+
+    #[test]
+    fn validate_accepts_target_within_capacity() {
+        HeadroomConfig::paper_default().validate_for_capacity(13_616);
+        HeadroomConfig::DISABLED.validate_for_capacity(0);
+        // Boundary: target == capacity is legal (zero headroom by intent).
+        let cfg = HeadroomConfig {
+            high_priority_target_tokens: Some(2_048),
+            queuing_rule: QueuingRule::FullDemand,
+        };
+        cfg.validate_for_capacity(2_048);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds instance KV capacity")]
+    #[cfg(debug_assertions)]
+    fn validate_rejects_oversized_target() {
+        let cfg = HeadroomConfig {
+            high_priority_target_tokens: Some(20_000),
+            queuing_rule: QueuingRule::FullDemand,
+        };
+        cfg.validate_for_capacity(13_616);
+    }
+
+    #[test]
+    fn oversized_target_clamps_headroom_to_zero() {
+        // Release-mode behaviour of the documented clamp.
+        let cfg = HeadroomConfig {
+            high_priority_target_tokens: Some(20_000),
+            queuing_rule: QueuingRule::FullDemand,
+        };
+        assert_eq!(cfg.headroom_for(Priority::High, 13_616), 0.0);
     }
 
     #[test]

@@ -147,6 +147,11 @@ pub struct EngineStats {
 }
 
 /// A vLLM-like serving instance.
+///
+/// `Clone` supports the sim-level snapshot/fork capability: a clone is an
+/// independent engine with identical batches, block ledgers, and in-flight
+/// step, continuing byte-identically.
+#[derive(Clone)]
 pub struct InstanceEngine {
     /// Instance id.
     pub id: InstanceId,

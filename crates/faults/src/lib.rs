@@ -52,8 +52,15 @@ pub struct FaultPlanConfig {
     pub link_failure_rate_per_hour: f64,
     /// How long a failed link stays down.
     pub link_down_duration: SimDuration,
-    /// Faults are only scheduled in `[0, horizon)`.
+    /// Faults are only scheduled in `[start_offset, start_offset + horizon)`.
     pub horizon: SimDuration,
+    /// Shifts the whole schedule: no fault fires before this offset. A pure
+    /// time translation of the `[0, horizon)` schedule — the inter-arrival
+    /// draws, targets, and class independence are untouched — so a sweep can
+    /// keep its warmup fault-free and fork fault arms from a shared snapshot
+    /// (the serving sim's `activate_faults` requires every fault to fire
+    /// after the fork point).
+    pub start_offset: SimDuration,
 }
 
 impl Default for FaultPlanConfig {
@@ -67,6 +74,7 @@ impl Default for FaultPlanConfig {
             link_failure_rate_per_hour: 0.0,
             link_down_duration: SimDuration::from_secs(5),
             horizon: SimDuration::from_secs(4 * 3600),
+            start_offset: SimDuration::ZERO,
         }
     }
 }
@@ -107,6 +115,12 @@ impl FaultPlanConfig {
     /// Sets the scheduling horizon.
     pub fn with_horizon(mut self, horizon: SimDuration) -> Self {
         self.horizon = horizon;
+        self
+    }
+
+    /// Delays the whole schedule so no fault fires before `offset`.
+    pub fn with_start_offset(mut self, offset: SimDuration) -> Self {
+        self.start_offset = offset;
         self
     }
 
@@ -190,26 +204,35 @@ impl FaultPlan {
     pub fn generate(cfg: &FaultPlanConfig, rng: &SimRng) -> Self {
         let mut faults = Vec::new();
         let mut crash = rng.split("faults/crash");
-        Self::poisson_stream(cfg.crash_rate_per_hour, cfg.horizon, &mut crash, |_| {
-            FaultKind::Crash {
+        Self::poisson_stream(
+            cfg.crash_rate_per_hour,
+            cfg.start_offset,
+            cfg.horizon,
+            &mut crash,
+            |_| FaultKind::Crash {
                 restart_after: cfg.restart_delay,
-            }
-        })
+            },
+        )
         .append_to(&mut faults);
 
         let mut slow = rng.split("faults/slowdown");
         let (lo, hi) = cfg.slowdown_factor;
-        Self::poisson_stream(cfg.slowdown_rate_per_hour, cfg.horizon, &mut slow, |r| {
-            FaultKind::Slowdown {
+        Self::poisson_stream(
+            cfg.slowdown_rate_per_hour,
+            cfg.start_offset,
+            cfg.horizon,
+            &mut slow,
+            |r| FaultKind::Slowdown {
                 factor: r.uniform_range(lo, hi),
                 duration: cfg.slowdown_duration,
-            }
-        })
+            },
+        )
         .append_to(&mut faults);
 
         let mut link = rng.split("faults/link");
         Self::poisson_stream(
             cfg.link_failure_rate_per_hour,
+            cfg.start_offset,
             cfg.horizon,
             &mut link,
             |_| FaultKind::LinkFailure {
@@ -226,6 +249,7 @@ impl FaultPlan {
 
     fn poisson_stream(
         rate_per_hour: f64,
+        start_offset: SimDuration,
         horizon: SimDuration,
         rng: &mut SimRng,
         mut kind: impl FnMut(&mut SimRng) -> FaultKind,
@@ -235,8 +259,10 @@ impl FaultPlan {
             return Stream(out);
         }
         let rate_per_sec = rate_per_hour / 3600.0;
-        let end = SimTime::ZERO + horizon;
-        let mut t = SimTime::ZERO;
+        // The offset translates the whole window: the same exponential draws
+        // produce the same gaps, just starting later.
+        let end = SimTime::ZERO + start_offset + horizon;
+        let mut t = SimTime::ZERO + start_offset;
         loop {
             t += SimDuration::from_secs_f64(exponential(rng, rate_per_sec));
             if t >= end {
@@ -403,6 +429,26 @@ mod tests {
             .filter(|f| matches!(f.kind, FaultKind::Crash { .. }))
             .collect();
         assert_eq!(crashes_full, crashes_partial);
+    }
+
+    #[test]
+    fn start_offset_is_a_pure_translation() {
+        let base = FaultPlan::generate(&churn_cfg(), &SimRng::new(17));
+        let offset = SimDuration::from_secs(450);
+        let shifted = FaultPlan::generate(&churn_cfg().with_start_offset(offset), &SimRng::new(17));
+        assert_eq!(base.len(), shifted.len());
+        assert_eq!(base.crash_count(), shifted.crash_count());
+        for (b, s) in base.iter().zip(shifted.iter()) {
+            assert_eq!(b.at + offset, s.at, "same schedule, translated");
+            assert_eq!(b.target_rank, s.target_rank);
+            assert_eq!(b.kind, s.kind);
+        }
+        // Nothing fires before the offset, nothing at or past offset+horizon.
+        let start = SimTime::ZERO + offset;
+        let end = start + churn_cfg().horizon;
+        for f in shifted.iter() {
+            assert!(f.at >= start && f.at < end);
+        }
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct SummaryAccumulator {
     max: f64,
     /// Samples `<= 0.0` (kept out of the log-scale histogram).
     nonpos: u64,
+    /// Samples `< 0.0` — the strictly-negative prefix of `nonpos`, so
+    /// `quantile` can tell ranks landing on a negative sample apart from
+    /// ranks landing on an exact zero.
+    neg: u64,
     /// Log-scale histogram of positive samples; empty until one arrives.
     buckets: Vec<u64>,
 }
@@ -89,6 +93,9 @@ impl SummaryAccumulator {
         self.sum += x;
         if x <= 0.0 {
             self.nonpos += 1;
+            if x < 0.0 {
+                self.neg += 1;
+            }
         } else {
             if self.buckets.is_empty() {
                 self.buckets = vec![0; NUM_BUCKETS];
@@ -111,10 +118,17 @@ impl SummaryAccumulator {
         let rank = q.clamp(0.0, 1.0) * (self.count - 1) as f64;
         let mut cum = self.nonpos as f64;
         if rank < cum {
-            // All non-positive samples collapse into one bucket; without the
-            // per-sample values, 0 is the representative unless the whole
-            // bucket is negative-capable.
-            return if self.min < 0.0 { self.min } else { 0.0 };
+            // Non-positive samples collapse into one histogram bucket, but
+            // the strictly-negative count is tracked separately: in sort
+            // order every negative precedes every zero, so only ranks inside
+            // the negative prefix may report the (negative) min — ranks on
+            // the zero run are exactly 0. (A single min for all negatives is
+            // still an approximation, matching the histogram's error model.)
+            return if rank < self.neg as f64 {
+                self.min
+            } else {
+                0.0
+            };
         }
         for (i, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -248,6 +262,47 @@ mod tests {
                 "q={q}: {got} outside [{lo}, {hi}]"
             );
         }
+    }
+
+    #[test]
+    fn one_negative_among_zeros_keeps_median_zero() {
+        // Regression: a single negative sample used to drag *every* rank in
+        // the non-positive bucket down to `min`, reporting P50 = −1.0 for a
+        // stream that is 9,999 parts zero.
+        let mut xs = vec![0.0; 9_999];
+        xs.push(-1.0);
+        let s = streamed(&xs);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p99, 0.0);
+        let mut acc = SummaryAccumulator::new();
+        for &x in &xs {
+            acc.observe(x);
+        }
+        // Rank 0 lands on the one negative sample.
+        assert_eq!(acc.quantile(0.0), -1.0);
+    }
+
+    #[test]
+    fn negative_prefix_ranks_report_min() {
+        // 40% negatives, 40% zeros, 20% positives: quantiles on each side of
+        // the prefix boundaries must match the exact sorted answer.
+        let mut xs = vec![-2.5; 400];
+        xs.extend(vec![0.0; 400]);
+        xs.extend((1..=200).map(f64::from));
+        let mut acc = SummaryAccumulator::new();
+        for &x in &xs {
+            acc.observe(x);
+        }
+        // Ranks strictly inside the negative prefix.
+        assert_eq!(acc.quantile(0.0), -2.5);
+        assert_eq!(acc.quantile(0.30), -2.5);
+        // Ranks on the zero run.
+        assert_eq!(acc.quantile(0.50), 0.0);
+        assert_eq!(acc.quantile(0.75), 0.0);
+        // Ranks in the positive tail still go through the histogram.
+        let e = exact(&xs);
+        let s = acc.finish();
+        assert!((s.p95 - e.p95).abs() <= 0.03 * e.p95);
     }
 
     #[test]

@@ -76,6 +76,11 @@ type EndpointCounts = BTreeMap<InstanceId, (u32, u32)>;
 /// [`MigrationCoordinator::abort_for_failed_instance`]) iterate these maps
 /// and feed their order into the event queue, so the iteration order must be
 /// a pure function of the simulation state, never of a hasher seed.
+///
+/// `Clone` supports the sim-level snapshot/fork capability: a clone carries
+/// every reservation, handshake stage, and endpoint counter, so forked runs
+/// resume mid-migration byte-identically.
+#[derive(Clone)]
 pub struct MigrationCoordinator {
     config: MigrationConfig,
     next_id: u64,

@@ -25,6 +25,7 @@ use crate::time::SimTime;
 
 /// A scheduled event: when it fires, a tie-breaking sequence number, and the
 /// caller's payload.
+#[derive(Clone)]
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
@@ -70,6 +71,12 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
 /// assert_eq!(q.pop(), None);
 /// ```
+///
+/// Cloning a queue (for [`crate`]-level snapshot/fork support) copies both
+/// tiers, the sequence counter, the coalescing statistics, and — in debug
+/// builds — the shadow schedule, so a clone pops the exact same stream as the
+/// original and keeps cross-checking it.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     /// Calendar tier: events coalesced into per-instant buckets. Appends
@@ -130,6 +137,69 @@ impl<E> EventQueue<E> {
         bucket.push_back((seq, payload));
         self.bucket_len += 1;
         self.coalesced_events += 1;
+    }
+
+    /// Schedules `payload` at `at`, ordered *before* every currently-pending
+    /// event in same-instant tie-breaks.
+    ///
+    /// A plain [`EventQueue::push`] takes the next sequence number, so among
+    /// events firing at the same instant it pops *after* everything already
+    /// pending. Forking a snapshot sometimes needs the opposite: an event
+    /// injected mid-run (e.g. re-activating a fault plan) must occupy the
+    /// tie-break slot it would have held had it been scheduled at seed time —
+    /// below every pending seed and re-armed event. This inserts with a
+    /// sequence number strictly smaller than the pending minimum; if that
+    /// minimum is already 0, every pending sequence number (both tiers, the
+    /// shadow, and the counter) is first shifted up by one — a uniform shift,
+    /// so no relative order changes.
+    pub fn push_below_pending(&mut self, at: SimTime, payload: E) {
+        let heap_min = self.heap.iter().map(|s| s.seq).min();
+        // Within a bucket appends are in ascending seq order, so each front
+        // carries its bucket's minimum.
+        let bucket_min = self
+            .buckets
+            .values()
+            .map(|dq| dq.front().expect("buckets are never empty").0)
+            .min();
+        let seq = match heap_min.into_iter().chain(bucket_min).min() {
+            // Nothing pending: plain push semantics.
+            None => {
+                self.push(at, payload);
+                return;
+            }
+            Some(0) => {
+                self.shift_pending_seqs_up();
+                0
+            }
+            Some(m) => m - 1,
+        };
+        #[cfg(debug_assertions)]
+        self.shadow.push(std::cmp::Reverse((at, seq)));
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Adds 1 to every pending sequence number (and the counter). Uniform, so
+    /// relative order is untouched; frees seq 0 for [`Self::push_below_pending`].
+    fn shift_pending_seqs_up(&mut self) {
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        for s in &mut entries {
+            s.seq += 1;
+        }
+        self.heap = entries.into();
+        for dq in self.buckets.values_mut() {
+            for (seq, _) in dq.iter_mut() {
+                *seq += 1;
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let entries = std::mem::take(&mut self.shadow).into_vec();
+            self.shadow = entries
+                .into_iter()
+                .map(|std::cmp::Reverse((at, seq))| std::cmp::Reverse((at, seq + 1)))
+                .collect();
+        }
+        self.next_seq += 1;
     }
 
     fn take_seq(&mut self, _at: SimTime) -> u64 {
@@ -314,6 +384,69 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clone_pops_identically_and_keeps_counting() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(4);
+        q.push(t, 0);
+        q.push_coalesced(t, 1);
+        q.push(SimTime::from_millis(2), 2);
+        q.push_coalesced(t, 3);
+        let mut c = q.clone();
+        assert_eq!(c.len(), q.len());
+        assert_eq!(c.coalesced_events(), q.coalesced_events());
+        // Identical pop stream (debug builds also cross-check each clone pop
+        // against the cloned shadow).
+        loop {
+            let (a, b) = (q.pop(), c.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        // The clone's seq counter continues from the original's, so pushes
+        // after the fork still order consistently.
+        c.push(t, 7);
+        c.push(t, 8);
+        assert_eq!(c.pop().map(|(_, e)| e), Some(7));
+        assert_eq!(c.pop().map(|(_, e)| e), Some(8));
+    }
+
+    #[test]
+    fn push_below_pending_wins_same_instant_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(10);
+        q.push(t, 1);
+        q.push_coalesced(t, 2);
+        // Pops before both pending same-time events despite being pushed last.
+        q.push_below_pending(t, 0);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn push_below_pending_shifts_when_seq_zero_pending() {
+        // The very first push holds seq 0, exercising the uniform-shift path.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(10);
+        q.push(t, 1); // seq 0
+        q.push_coalesced(t, 2); // seq 1
+        q.push(SimTime::from_millis(5), 3); // seq 2, earlier time
+        q.push_below_pending(t, 0); // must take over seq 0 at time t
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn push_below_pending_on_empty_queue_is_plain_push() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(10);
+        q.push_below_pending(t, 0);
+        q.push(t, 1);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1]);
     }
 
     /// Exhaustive equivalence: a mixed push/push_coalesced stream must pop in

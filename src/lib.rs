@@ -62,7 +62,7 @@ pub use llumnix_workload as workload;
 pub mod prelude {
     pub use llumnix_core::{
         run_serving, AutoScaleConfig, FailureSpec, FaultPlan, FaultPlanConfig, HeadroomConfig,
-        MigrationThresholds, SchedulerKind, ServingConfig, ServingOutput, ServingSim,
+        MigrationThresholds, SchedulerKind, ServingConfig, ServingOutput, ServingSim, SimSnapshot,
     };
     pub use llumnix_engine::{EngineConfig, InstanceId, Priority, PriorityPair, RequestId};
     pub use llumnix_metrics::{
