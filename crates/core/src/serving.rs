@@ -1149,10 +1149,13 @@ impl ServingSim {
             // High-rate open-loop traces duplicate timestamps at large fleet
             // sizes; arrivals ride the same calendar buckets as step
             // completions (DESIGN.md §7.4).
-            self.queue.push_coalesced(
-                self.trace.requests[index + 1].arrival,
-                Event::Arrival(index + 1),
-            );
+            let next = self
+                .trace
+                .requests
+                .get(index + 1)
+                .expect("bounds-checked above");
+            self.queue
+                .push_coalesced(next.arrival, Event::Arrival(index + 1));
         } else {
             self.arrivals_done = true;
         }

@@ -826,7 +826,7 @@ impl InstanceEngine {
         }
         let mut rest: Vec<RequestId> = self
             .states
-            .keys() // lint: allow(unordered-iter) — sorted before returning
+            .keys()
             .filter(|id| !seen.contains(id))
             .copied()
             .collect();
@@ -841,7 +841,7 @@ impl InstanceEngine {
     pub fn draining_ids(&self) -> Vec<RequestId> {
         let mut ids: Vec<RequestId> = self
             .states
-            .iter() // lint: allow(unordered-iter) — sorted before returning
+            .iter()
             .filter(|(_, s)| s.phase == Phase::Draining)
             .map(|(&id, _)| id)
             .collect();

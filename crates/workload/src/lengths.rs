@@ -90,7 +90,11 @@ impl AnchoredDistribution {
             .windows(2)
             .position(|w| q <= w[1].q)
             .unwrap_or(self.anchors.len() - 2);
-        let (a, b) = (self.anchors[idx], self.anchors[idx + 1]);
+        let a = self.anchors[idx];
+        let b = *self
+            .anchors
+            .get(idx + 1)
+            .expect("windows(2) position is at most len - 2");
         let t = (q - a.q) / (b.q - a.q);
         a.len + (b.len - a.len) * t.powf(self.gamma)
     }
@@ -308,7 +312,6 @@ mod tests {
         let d = table1::long();
         let mut rng = SimRng::new(77);
         let mut samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng) as f64).collect();
-        // lint: allow(float-ord) — test-only percentile check; samples are finite counts
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let p = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
         assert!((p(0.5) - 55.0).abs() / 55.0 < 0.1, "p50 = {}", p(0.5));

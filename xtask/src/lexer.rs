@@ -12,10 +12,13 @@
 pub struct Token {
     /// What the token is.
     pub kind: TokenKind,
-    /// Source text of the token (empty for literals, whose contents never
-    /// matter to any rule).
+    /// Source text of the token. Literals keep their raw source — numeric
+    /// literals their digits (so a rule can tell `1.0` from `1`), string
+    /// literals their quoted text (so a rule can judge an `expect` message)
+    /// — which can never collide with an identifier: the first character is
+    /// a digit or a quote/prefix the ident arm never produces.
     pub text: String,
-    /// 1-based source line.
+    /// 1-based source line (the *first* line for multi-line literals).
     pub line: u32,
 }
 
@@ -26,7 +29,7 @@ pub enum TokenKind {
     Ident,
     /// Single punctuation character.
     Punct,
-    /// String / char / byte / numeric literal (contents dropped).
+    /// String / char / byte / numeric literal (raw source text kept).
     Literal,
     /// Lifetime (`'a`, `'static`) or loop label.
     Lifetime,
@@ -90,30 +93,49 @@ pub fn lex(src: &str) -> Lexed {
                     .push((start_line, src[start..i.min(b.len())].to_string()));
             }
             b'"' => {
+                let (start, start_line) = (i, line);
                 i = skip_string(b, i + 1, &mut line);
-                out.tokens.push(tok(TokenKind::Literal, "", line));
+                out.tokens.push(tok(
+                    TokenKind::Literal,
+                    &src[start..i.min(b.len())],
+                    start_line,
+                ));
             }
             b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (start, start_line) = (i, line);
                 i = skip_raw_string(b, i, &mut line);
-                out.tokens.push(tok(TokenKind::Literal, "", line));
+                out.tokens.push(tok(
+                    TokenKind::Literal,
+                    &src[start..i.min(b.len())],
+                    start_line,
+                ));
             }
             b'b' if b.get(i + 1) == Some(&b'"') => {
+                let (start, start_line) = (i, line);
                 i = skip_string(b, i + 2, &mut line);
-                out.tokens.push(tok(TokenKind::Literal, "", line));
+                out.tokens.push(tok(
+                    TokenKind::Literal,
+                    &src[start..i.min(b.len())],
+                    start_line,
+                ));
             }
             b'\'' => {
                 // Char literal or lifetime. `'\x'`-style escapes and `'c'`
                 // are literals; anything else is a lifetime/label.
                 if b.get(i + 1) == Some(&b'\\') {
+                    let start = i;
                     i += 2; // skip the backslash and the escaped char
                     while i < b.len() && b[i] != b'\'' {
                         i += 1;
                     }
                     i += 1;
-                    out.tokens.push(tok(TokenKind::Literal, "", line));
-                } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
-                    i += 3;
-                    out.tokens.push(tok(TokenKind::Literal, "", line));
+                    out.tokens
+                        .push(tok(TokenKind::Literal, &src[start..i.min(b.len())], line));
+                } else if char_lit_len(src, i) > 0 {
+                    let len = char_lit_len(src, i);
+                    out.tokens
+                        .push(tok(TokenKind::Literal, &src[i..i + len], line));
+                    i += len;
                 } else {
                     let start = i;
                     i += 1;
@@ -135,6 +157,7 @@ pub fn lex(src: &str) -> Lexed {
                 // Numbers: digits, underscores, type suffixes, hex/exponent
                 // letters, and a dot only when a digit follows it (so the
                 // `.` in `1.0.max(2.0)` stays a method-call dot).
+                let start = i;
                 i += 1;
                 while i < b.len() {
                     let d = b[i];
@@ -146,7 +169,8 @@ pub fn lex(src: &str) -> Lexed {
                         break;
                     }
                 }
-                out.tokens.push(tok(TokenKind::Literal, "", line));
+                out.tokens
+                    .push(tok(TokenKind::Literal, &src[start..i], line));
             }
             _ => {
                 // Consume one whole char: non-ASCII bytes (e.g. `▁` in a doc
@@ -167,6 +191,24 @@ fn tok(kind: TokenKind, text: &str, line: u32) -> Token {
         kind,
         text: text.to_string(),
         line,
+    }
+}
+
+/// Length in bytes of an unescaped char literal (`'x'`, including a
+/// multi-byte `x` like `'▁'`) starting at the `'` at `i`, or 0 if the
+/// construct is not one — `''` (empty, which Rust rejects anyway) and
+/// `'ident` lifetimes both return 0.
+fn char_lit_len(src: &str, i: usize) -> usize {
+    let rest = &src[i + 1..];
+    let c = match rest.chars().next() {
+        Some(c) if c != '\'' && c != '\n' => c,
+        _ => return 0,
+    };
+    let len = c.len_utf8();
+    if rest.as_bytes().get(len) == Some(&b'\'') {
+        len + 2
+    } else {
+        0
     }
 }
 
@@ -300,5 +342,105 @@ let l: &'static str = s;
             .find(|t| t.text == "HashMap")
             .expect("HashMap token");
         assert_eq!(hm.line, 4);
+    }
+
+    #[test]
+    fn numeric_literals_keep_their_source_text() {
+        let texts: Vec<String> = lex("let x = 1.5f64 + 2 + 0x1f + 1_000;")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, vec!["1.5f64", "2", "0x1f", "1_000"]);
+    }
+
+    #[test]
+    fn brace_and_quote_char_literals_do_not_derail_balancing() {
+        // A naive lexer reads `'{'` as a lifetime and then sees an
+        // unbalanced brace; same for `'"'` opening a phantom string.
+        let src = r#"fn f(c: char) -> bool { matches!(c, '{' | '}' | '"' | '(') } fn g() {}"#;
+        let lexed = lex(src);
+        let opens = lexed.tokens.iter().filter(|t| t.text == "{").count();
+        let closes = lexed.tokens.iter().filter(|t| t.text == "}").count();
+        assert_eq!(opens, 2, "{lexed:?}");
+        assert_eq!(closes, 2, "{lexed:?}");
+        assert!(lexed.tokens.iter().any(|t| t.text == "g"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_is_one_token() {
+        let src = r"let q = '\''; let n = '\n'; done();";
+        let lexed = lex(src);
+        // The ident after both char literals must survive intact.
+        assert!(idents(src).contains(&"done".to_string()));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2,
+            "{lexed:?}"
+        );
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_a_literal_not_a_split_codepoint() {
+        let lexed = lex("let sep = '▁'; let after = 1;");
+        assert!(
+            lexed
+                .tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Literal && t.text == "'▁'"),
+            "{lexed:?}"
+        );
+        assert!(lexed.tokens.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_quotes_and_hashes() {
+        let src = r###"let a = r#"quote " inside"#; let b = r##"double "# inside"##; let c = br#"bytes"#; tail();"###;
+        let ids = idents(src);
+        assert!(ids.contains(&"tail".to_string()), "{ids:?}");
+        assert!(!ids.iter().any(|t| t == "inside" || t == "bytes"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_where_rust_says() {
+        let src = "/* outer /* inner */ still a comment */ fn visible() {}";
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "still"), "{ids:?}");
+        assert!(ids.contains(&"visible".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn multiline_strings_stamp_their_opening_line() {
+        let src = "let s = \"line one\nline two\nline three\";\nlet after = 9;";
+        let lexed = lex(src);
+        let lit = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal && t.text.starts_with('"'))
+            .expect("string literal token");
+        assert_eq!(lit.line, 1, "multi-line literal reports its first line");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "after")
+            .expect("after token");
+        assert_eq!(after.line, 4, "lines inside the literal still count");
+    }
+
+    #[test]
+    fn string_literals_keep_quoted_text_for_expect_judging() {
+        let lexed = lex(r#"x.expect("peeked above");"#);
+        assert!(
+            lexed
+                .tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Literal && t.text == "\"peeked above\""),
+            "{lexed:?}"
+        );
     }
 }

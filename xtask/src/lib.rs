@@ -4,16 +4,26 @@
 //! machines, and `--threads` counts (DESIGN.md §7). The dynamic checks —
 //! captured figure outputs, bench baselines, debug shadow cross-checks —
 //! catch a violation only *after* it changed a schedule. This pass catches
-//! the bug classes statically, the way deterministic-simulation stacks do:
+//! the bug classes statically, the way deterministic-simulation stacks do.
 //!
-//! | rule id           | contract |
-//! |-------------------|----------|
-//! | `unordered-iter`  | no iteration over `HashMap`/`HashSet` in deterministic crates unless annotated or folded through an order-insensitive sink |
-//! | `wall-clock`      | no `Instant`/`SystemTime` in deterministic crates — virtual [`Clock`](https://docs.rs) time only |
-//! | `float-ord`       | no raw `f64` ordering comparisons outside the blessed `order_key` encoding in `crates/core/src/index.rs` |
-//! | `unsafe-code`     | no `unsafe` anywhere (paired with `#![forbid(unsafe_code)]`) |
-//! | `serialized-hash` | no default-hasher container inside a `#[derive(Serialize)]` type (figure/bench output must not depend on hasher order) |
-//! | `missing-forbid`  | every crate root carries `#![forbid(unsafe_code)]` |
+//! The analyzer has two layers (DESIGN.md §14): the hand-rolled tokenizer
+//! in [`lexer`] (no external deps — the build environment is offline) and
+//! a small item-level HIR in [`hir`] built over it — structs with typed
+//! fields, impl blocks, functions with binding tables, and a workspace-wide
+//! field table — so rules resolve *what a receiver is* instead of tracking
+//! identifiers per file. Rules live in [`rules`], one module per family:
+//!
+//! | rule id            | contract |
+//! |--------------------|----------|
+//! | `unordered-iter`   | no iteration over `HashMap`/`HashSet` in deterministic crates unless annotated, folded through an order-insensitive sink, or collected and sorted in the same function |
+//! | `wall-clock`       | no `Instant`/`SystemTime` in deterministic crates — virtual `Clock` time only |
+//! | `float-ord`        | no raw ordering comparisons on float-typed receivers; route through the lossless `order_key` encoding in `crates/core/src/index.rs` |
+//! | `unsafe-code`      | no `unsafe` anywhere (paired with `#![forbid(unsafe_code)]`) |
+//! | `serialized-hash`  | no default-hasher container inside a `#[derive(Serialize)]` type (figure/bench output must not depend on hasher order) |
+//! | `missing-forbid`   | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `clone-exhaustive` | a hand-written `impl Clone` must mention every declared field (the snapshot/fork deep-copy contract) |
+//! | `effect-ownership` | `EffectKey` construction and `effects` outbox pushes only inside ledger-counting emit paths |
+//! | `panic-path`       | no unjustified `unwrap`/vacuous `expect`/computed slice index in deterministic code |
 //!
 //! Escape hatches, both with **mandatory justifications**:
 //!
@@ -23,23 +33,22 @@
 //!   `<rule-id> <path> <justification>` — unused entries are themselves
 //!   violations (`unused-allow`), so the file cannot rot.
 //!
-//! The analyzer is a hand-rolled tokenizer pass (no external deps — the
-//! build environment is offline) over `crates/*/src`, `src/`, and
-//! `xtask/src`. It is deliberately conservative: it tracks identifiers
-//! bound to hash containers *per file* and flags their iteration, so a
-//! sound refactor is never nagged twice, and anything it cannot prove is
-//! order-insensitive needs a human-written reason.
+//! The audit covers `crates/*/src`, the root crate's `src/`, and
+//! `xtask/src` itself — the linter is subject to its own `panic-path` and
+//! `unordered-iter` rules, so the tool cannot rot either.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod hir;
 pub mod lexer;
+pub mod rules;
 
-use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use lexer::{lex, Token, TokenKind};
+use lexer::{lex, Lexed};
+use rules::RuleCtx;
 
 /// Crates whose code executes inside the deterministic simulation: the
 /// strict rules apply here. `bench` (wall-clock measurement) and `metrics`
@@ -55,18 +64,15 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "workload",
 ];
 
-/// The one file allowed to order floats directly: it defines the lossless
-/// `order_key` encoding every other ordering must go through.
-pub const BLESSED_FLOAT_FILE: &str = "crates/core/src/index.rs";
-
-/// Lint rules. Ids are stable: annotations and the allowlist refer to them.
+/// Lint rules. Ids are stable: annotations, the allowlist, and the JSON
+/// report refer to them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Iteration over a default-hasher container in a deterministic crate.
     UnorderedIter,
     /// Wall-clock time source in a deterministic crate.
     WallClock,
-    /// Raw float ordering comparison outside the blessed encoding.
+    /// Raw float ordering comparison outside the `order_key` encoding.
     FloatOrd,
     /// An `unsafe` block or function.
     UnsafeCode,
@@ -74,6 +80,12 @@ pub enum Rule {
     SerializedHash,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     MissingForbid,
+    /// A manual `impl Clone` that skips a declared field.
+    CloneExhaustive,
+    /// Effect construction/emission outside the ledger-counting paths.
+    EffectOwnership,
+    /// Unjustified panic site in deterministic code.
+    PanicPath,
     /// An allow annotation without a justification.
     BareAllow,
     /// An allowlist entry that matched nothing.
@@ -90,6 +102,9 @@ impl Rule {
             Rule::UnsafeCode => "unsafe-code",
             Rule::SerializedHash => "serialized-hash",
             Rule::MissingForbid => "missing-forbid",
+            Rule::CloneExhaustive => "clone-exhaustive",
+            Rule::EffectOwnership => "effect-ownership",
+            Rule::PanicPath => "panic-path",
             Rule::BareAllow => "bare-allow",
             Rule::UnusedAllow => "unused-allow",
         }
@@ -103,6 +118,9 @@ impl Rule {
             "unsafe-code" => Rule::UnsafeCode,
             "serialized-hash" => Rule::SerializedHash,
             "missing-forbid" => Rule::MissingForbid,
+            "clone-exhaustive" => Rule::CloneExhaustive,
+            "effect-ownership" => Rule::EffectOwnership,
+            "panic-path" => Rule::PanicPath,
             _ => return None,
         })
     }
@@ -149,10 +167,12 @@ impl fmt::Display for Finding {
 pub struct FileClass {
     /// Simulation-path crate: the strict rules apply.
     pub deterministic: bool,
-    /// The `order_key` home file, exempt from `float-ord`.
-    pub blessed_float_file: bool,
     /// A crate root that must carry `#![forbid(unsafe_code)]`.
     pub lib_root: bool,
+    /// The linter's own source: self-audited for `panic-path` and
+    /// `unordered-iter` (a nondeterministic or panicking audit would be
+    /// its own bug class).
+    pub xtask: bool,
 }
 
 // ---- annotations ----------------------------------------------------------
@@ -311,456 +331,46 @@ impl Allowlist {
     }
 }
 
-// ---- token helpers --------------------------------------------------------
-
-fn is_ident(t: &Token, text: &str) -> bool {
-    t.kind == TokenKind::Ident && t.text == text
-}
-
-fn is_punct(t: &Token, text: &str) -> bool {
-    t.kind == TokenKind::Punct && t.text == text
-}
-
-/// Index just past the group that opens at `open` (which must hold `(`,
-/// `[`, or `{`), balancing all three bracket kinds.
-fn skip_group(tokens: &[Token], open: usize) -> usize {
-    let mut depth = 0i32;
-    let mut i = open;
-    while i < tokens.len() {
-        let t = &tokens[i];
-        if t.kind == TokenKind::Punct {
-            match t.text.as_str() {
-                "(" | "[" | "{" => depth += 1,
-                ")" | "]" | "}" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return i + 1;
-                    }
-                }
-                _ => {}
-            }
-        }
-        i += 1;
-    }
-    i
-}
-
-// ---- rule passes ----------------------------------------------------------
-
-const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
-const ITER_METHODS: [&str; 10] = [
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "into_iter",
-    "into_keys",
-    "into_values",
-    "drain",
-    "retain",
-];
-/// Iterator folds whose result cannot depend on visit order (assuming pure
-/// closures, which is on the annotator if violated).
-const ORDER_INSENSITIVE_SINKS: [&str; 6] = ["sum", "count", "min", "max", "all", "any"];
-
-/// Identifiers bound to a hash container anywhere in the file: struct
-/// fields, params, and lets declared `: HashMap<...>`, initialized from
-/// `HashMap::new()`-style paths, or typed via a local `type X = HashMap`
-/// alias.
-fn hash_container_idents(tokens: &[Token]) -> BTreeSet<String> {
-    let mut type_names: BTreeSet<String> = HASH_TYPES.iter().map(|s| s.to_string()).collect();
-    // Local aliases: `type Foo = HashMap<...>;`
-    for i in 0..tokens.len() {
-        if is_ident(&tokens[i], "type")
-            && i + 2 < tokens.len()
-            && tokens[i + 1].kind == TokenKind::Ident
-            && is_punct(&tokens[i + 2], "=")
-        {
-            let mut j = i + 3;
-            while j < tokens.len() && !is_punct(&tokens[j], ";") {
-                if tokens[j].kind == TokenKind::Ident && HASH_TYPES.contains(&&*tokens[j].text) {
-                    type_names.insert(tokens[i + 1].text.clone());
-                    break;
-                }
-                j += 1;
-            }
-        }
-    }
-    let mut out = BTreeSet::new();
-    // `name : <path containing a hash type>` — fields, params, typed lets,
-    // and struct-literal fields initialized from `HashMap::new()`.
-    for i in 1..tokens.len() {
-        if !is_punct(&tokens[i], ":") {
-            continue;
-        }
-        // Skip `::` path separators.
-        if (i > 0 && is_punct(&tokens[i - 1], ":"))
-            || (i + 1 < tokens.len() && is_punct(&tokens[i + 1], ":"))
-        {
-            continue;
-        }
-        if tokens[i - 1].kind != TokenKind::Ident {
-            continue;
-        }
-        let name = &tokens[i - 1].text;
-        // Scan the type/initializer path: idents, `::`, `&`, and generic
-        // angle brackets. Stop at anything else.
-        let mut j = i + 1;
-        let mut found = false;
-        while j < tokens.len() {
-            let t = &tokens[j];
-            let path_piece = t.kind == TokenKind::Ident
-                || t.kind == TokenKind::Lifetime
-                || (t.kind == TokenKind::Punct && matches!(t.text.as_str(), ":" | "&" | "<" | ">"));
-            if !path_piece {
-                break;
-            }
-            if t.kind == TokenKind::Ident && type_names.contains(&t.text) {
-                found = true;
-                break;
-            }
-            j += 1;
-        }
-        if found {
-            out.insert(name.clone());
-        }
-    }
-    // `let [mut] name = <path containing a hash type>(...)`.
-    for i in 0..tokens.len() {
-        if !is_ident(&tokens[i], "let") {
-            continue;
-        }
-        let mut j = i + 1;
-        if j < tokens.len() && is_ident(&tokens[j], "mut") {
-            j += 1;
-        }
-        if j >= tokens.len() || tokens[j].kind != TokenKind::Ident {
-            continue;
-        }
-        let name = &tokens[j].text;
-        // Find the `=` of this let (same statement, before any `;`).
-        let mut k = j + 1;
-        while k < tokens.len() && !is_punct(&tokens[k], "=") && !is_punct(&tokens[k], ";") {
-            k += 1;
-        }
-        if k >= tokens.len() || !is_punct(&tokens[k], "=") {
-            continue;
-        }
-        let mut m = k + 1;
-        while m < tokens.len() {
-            let t = &tokens[m];
-            let path_piece = t.kind == TokenKind::Ident
-                || (t.kind == TokenKind::Punct && matches!(t.text.as_str(), ":" | "<" | ">" | "&"));
-            if !path_piece {
-                break;
-            }
-            if t.kind == TokenKind::Ident && type_names.contains(&t.text) {
-                out.insert(name.clone());
-                break;
-            }
-            m += 1;
-        }
-    }
-    out
-}
-
-/// Walks a method chain starting at the `(` of the first call; returns
-/// `true` if any later method in the chain is an order-insensitive sink.
-fn chain_reaches_sink(tokens: &[Token], first_open: usize) -> bool {
-    let mut i = skip_group(tokens, first_open);
-    loop {
-        if i >= tokens.len() || !is_punct(&tokens[i], ".") {
-            return false;
-        }
-        let Some(m) = tokens.get(i + 1) else {
-            return false;
-        };
-        if m.kind != TokenKind::Ident {
-            return false;
-        }
-        if ORDER_INSENSITIVE_SINKS.contains(&&*m.text) {
-            return true;
-        }
-        // Skip an optional turbofish, then the argument group.
-        let mut j = i + 2;
-        if j + 1 < tokens.len() && is_punct(&tokens[j], ":") && is_punct(&tokens[j + 1], ":") {
-            // `::<...>`
-            j += 2;
-            if j < tokens.len() && is_punct(&tokens[j], "<") {
-                let mut depth = 0i32;
-                while j < tokens.len() {
-                    if is_punct(&tokens[j], "<") {
-                        depth += 1;
-                    } else if is_punct(&tokens[j], ">") {
-                        depth -= 1;
-                        if depth == 0 {
-                            j += 1;
-                            break;
-                        }
-                    }
-                    j += 1;
-                }
-            }
-        }
-        if j < tokens.len() && is_punct(&tokens[j], "(") {
-            i = skip_group(tokens, j);
-        } else {
-            // A field access or `.await`-like postfix: keep walking.
-            i = j;
-        }
-    }
-}
-
-fn unordered_iter_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
-    let containers = hash_container_idents(tokens);
-    if containers.is_empty() {
-        return;
-    }
-    // Method-call iteration: `name.iter()`, `name.drain(..)`, ...
-    for i in 0..tokens.len() {
-        let t = &tokens[i];
-        if t.kind != TokenKind::Ident || !containers.contains(&t.text) {
-            continue;
-        }
-        let (Some(dot), Some(m)) = (tokens.get(i + 1), tokens.get(i + 2)) else {
-            continue;
-        };
-        if !is_punct(dot, ".") || m.kind != TokenKind::Ident || !ITER_METHODS.contains(&&*m.text) {
-            continue;
-        }
-        let Some(open) = tokens.get(i + 3) else {
-            continue;
-        };
-        if !is_punct(open, "(") {
-            continue;
-        }
-        if m.text != "retain" && chain_reaches_sink(tokens, i + 3) {
-            continue;
-        }
-        findings.push(Finding {
-            path: path.to_string(),
-            line: m.line,
-            rule: Rule::UnorderedIter,
-            message: format!(
-                "`{}.{}()` iterates a default-hasher container in a deterministic crate; \
-                 use a BTree container, sort before use, or annotate \
-                 `// lint: allow(unordered-iter) — <reason>`",
-                t.text, m.text
-            ),
-        });
-    }
-    // `for`-loop iteration: `for x in &name { ... }`.
-    for i in 0..tokens.len() {
-        if !is_ident(&tokens[i], "for") {
-            continue;
-        }
-        // Find the `in` of this loop header (within a small window).
-        let mut j = i + 1;
-        let mut in_at = None;
-        while j < tokens.len() && j < i + 12 {
-            if is_ident(&tokens[j], "in") {
-                in_at = Some(j);
-                break;
-            }
-            if is_punct(&tokens[j], "{") {
-                break;
-            }
-            j += 1;
-        }
-        let Some(in_at) = in_at else { continue };
-        // The iterated expression: tokens up to the body `{`. A `(` means a
-        // method call — the pass above owns that case.
-        let mut k = in_at + 1;
-        let mut last_ident: Option<&Token> = None;
-        let mut has_call = false;
-        while k < tokens.len() && !is_punct(&tokens[k], "{") {
-            if is_punct(&tokens[k], "(") {
-                has_call = true;
-            }
-            if tokens[k].kind == TokenKind::Ident {
-                last_ident = Some(&tokens[k]);
-            }
-            k += 1;
-        }
-        if has_call {
-            continue;
-        }
-        if let Some(id) = last_ident {
-            if containers.contains(&id.text) {
-                findings.push(Finding {
-                    path: path.to_string(),
-                    line: id.line,
-                    rule: Rule::UnorderedIter,
-                    message: format!(
-                        "`for .. in {}` iterates a default-hasher container in a \
-                         deterministic crate; use a BTree container or sort first",
-                        id.text
-                    ),
-                });
-            }
-        }
-    }
-}
-
-fn wall_clock_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
-    for t in tokens {
-        if t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
-            findings.push(Finding {
-                path: path.to_string(),
-                line: t.line,
-                rule: Rule::WallClock,
-                message: format!(
-                    "`{}` is a wall-clock time source; simulation paths must use the \
-                     virtual clock (llumnix_sim::SimTime / Clock) only",
-                    t.text
-                ),
-            });
-        }
-    }
-}
-
-fn float_ord_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
-    for i in 1..tokens.len() {
-        let t = &tokens[i];
-        if t.kind == TokenKind::Ident
-            && (t.text == "partial_cmp" || t.text == "total_cmp")
-            && is_punct(&tokens[i - 1], ".")
-        {
-            findings.push(Finding {
-                path: path.to_string(),
-                line: t.line,
-                rule: Rule::FloatOrd,
-                message: format!(
-                    "raw `.{}()` float ordering; route the comparison through the \
-                     lossless `order_key` encoding in {BLESSED_FLOAT_FILE}",
-                    t.text
-                ),
-            });
-        }
-    }
-}
-
-fn unsafe_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
-    for t in tokens {
-        if is_ident(t, "unsafe") {
-            findings.push(Finding {
-                path: path.to_string(),
-                line: t.line,
-                rule: Rule::UnsafeCode,
-                message: "`unsafe` is banned workspace-wide (no escape hatch); \
-                          the simulator needs none"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-fn serialized_hash_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
-    let mut i = 0usize;
-    while i < tokens.len() {
-        // An outer attribute: `#[ ... ]`.
-        if !(is_punct(&tokens[i], "#") && i + 1 < tokens.len() && is_punct(&tokens[i + 1], "[")) {
-            i += 1;
-            continue;
-        }
-        let end = skip_group(tokens, i + 1);
-        let attr = &tokens[i + 1..end];
-        let is_serialize_derive = attr.iter().any(|t| is_ident(t, "derive"))
-            && attr.iter().any(|t| is_ident(t, "Serialize"));
-        i = end;
-        if !is_serialize_derive {
-            continue;
-        }
-        // Skip further attributes and doc noise up to the item keyword.
-        let mut j = i;
-        while j < tokens.len() {
-            if is_punct(&tokens[j], "#") && j + 1 < tokens.len() && is_punct(&tokens[j + 1], "[") {
-                j = skip_group(tokens, j + 1);
-            } else if tokens[j].kind == TokenKind::Ident
-                && matches!(tokens[j].text.as_str(), "struct" | "enum")
-            {
-                break;
-            } else {
-                j += 1;
-            }
-        }
-        if j >= tokens.len() {
-            return;
-        }
-        // The item body: `{ ... }` or `( ... )` (tuple struct) or `;`.
-        let mut k = j + 1;
-        while k < tokens.len()
-            && !is_punct(&tokens[k], "{")
-            && !is_punct(&tokens[k], "(")
-            && !is_punct(&tokens[k], ";")
-        {
-            k += 1;
-        }
-        if k >= tokens.len() || is_punct(&tokens[k], ";") {
-            i = k;
-            continue;
-        }
-        let body_end = skip_group(tokens, k);
-        for t in &tokens[k..body_end] {
-            if t.kind == TokenKind::Ident && HASH_TYPES.contains(&&*t.text) {
-                findings.push(Finding {
-                    path: path.to_string(),
-                    line: t.line,
-                    rule: Rule::SerializedHash,
-                    message: format!(
-                        "`{}` inside a `#[derive(Serialize)]` type: serialized output \
-                         would depend on hasher order; use a BTree container",
-                        t.text
-                    ),
-                });
-            }
-        }
-        i = body_end;
-    }
-}
-
-fn missing_forbid_pass(tokens: &[Token], path: &str, findings: &mut Vec<Finding>) {
-    for i in 0..tokens.len() {
-        if is_punct(&tokens[i], "#")
-            && tokens.get(i + 1).is_some_and(|t| is_punct(t, "!"))
-            && tokens.get(i + 2).is_some_and(|t| is_punct(t, "["))
-            && tokens.get(i + 3).is_some_and(|t| is_ident(t, "forbid"))
-            && tokens
-                .get(i + 5)
-                .is_some_and(|t| is_ident(t, "unsafe_code"))
-        {
-            return;
-        }
-    }
-    findings.push(Finding {
-        path: path.to_string(),
-        line: 1,
-        rule: Rule::MissingForbid,
-        message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-    });
-}
-
 // ---- per-file driver ------------------------------------------------------
 
-/// Lints one file's source. `path` is used for reporting and allowlist
-/// matching; `class` selects the applicable rules.
-pub fn lint_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
-    let lexed = lex(src);
-    let allows = parse_allows(&lexed.comments);
-    let mut raw = Vec::new();
+/// Runs the rule passes selected by `class` over one analyzed file.
+fn rule_passes(class: &FileClass, ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
     if class.deterministic {
-        unordered_iter_pass(&lexed.tokens, path, &mut raw);
-        wall_clock_pass(&lexed.tokens, path, &mut raw);
-        if !class.blessed_float_file {
-            float_ord_pass(&lexed.tokens, path, &mut raw);
-        }
+        rules::iter::unordered_iter(ctx, out);
+        rules::tokens::wall_clock(ctx, out);
+        rules::floats::float_ord(ctx, out);
+        rules::clone::clone_exhaustive(ctx, out);
+        rules::effects::effect_ownership(ctx, out);
+        rules::panics::panic_path(ctx, out);
+    } else if class.xtask {
+        rules::iter::unordered_iter(ctx, out);
+        rules::panics::panic_path(ctx, out);
     }
-    unsafe_pass(&lexed.tokens, path, &mut raw);
-    serialized_hash_pass(&lexed.tokens, path, &mut raw);
+    rules::tokens::unsafe_code(ctx, out);
+    rules::tokens::serialized_hash(ctx, out);
     if class.lib_root {
-        missing_forbid_pass(&lexed.tokens, path, &mut raw);
+        rules::tokens::missing_forbid(ctx, out);
     }
+}
+
+/// Lints one analyzed file against `class`, filtering findings through its
+/// site annotations.
+fn lint_analyzed(
+    path: &str,
+    lexed: &Lexed,
+    hir: &hir::FileHir,
+    fields: &hir::FieldTable,
+    class: &FileClass,
+) -> Vec<Finding> {
+    let allows = parse_allows(&lexed.comments);
+    let ctx = RuleCtx {
+        path,
+        tokens: &lexed.tokens,
+        hir,
+        fields,
+    };
+    let mut raw = Vec::new();
+    rule_passes(class, &ctx, &mut raw);
     let mut findings: Vec<Finding> = raw
         .into_iter()
         .filter(|f| !(f.rule.allowable() && allows.covers(f.line, f.rule)))
@@ -775,6 +385,116 @@ pub fn lint_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
     }
     findings.sort_by_key(|f| (f.line, f.rule));
     findings
+}
+
+/// Lints one file's source in isolation: the field table is built from this
+/// file alone. `path` is used for reporting and allowlist matching; `class`
+/// selects the applicable rules. The workspace driver [`run_lint`] resolves
+/// fields across every audited file instead — use it for real audits; this
+/// entry point exists for tests and single-file tooling.
+pub fn lint_source(path: &str, src: &str, class: &FileClass) -> Vec<Finding> {
+    let lexed = lex(src);
+    let mut file_hir = hir::parse(&lexed.tokens);
+    let mut fields = hir::FieldTable::default();
+    fields.add_file(&file_hir);
+    hir::refine_bindings(&lexed.tokens, &mut file_hir, &fields);
+    lint_analyzed(path, &lexed, &file_hir, &fields, class)
+}
+
+// ---- machine-readable output ----------------------------------------------
+
+/// Escapes a string for a JSON string literal. Hand-rolled because the
+/// build environment is offline: no serde.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The source line a finding points at, re-read from disk under `root`.
+/// Line-0 findings (allowlist-level) and unreadable files yield `None`.
+fn snippet_for(
+    root: &Path,
+    cache: &mut std::collections::BTreeMap<String, Vec<String>>,
+    f: &Finding,
+) -> Option<String> {
+    if f.line == 0 {
+        return None;
+    }
+    if !cache.contains_key(&f.path) {
+        let lines = std::fs::read_to_string(root.join(&f.path))
+            .map(|src| src.lines().map(|l| l.to_string()).collect())
+            .unwrap_or_default();
+        cache.insert(f.path.clone(), lines);
+    }
+    cache
+        .get(&f.path)
+        .and_then(|lines| lines.get(f.line as usize - 1))
+        .map(|l| l.trim_end().to_string())
+}
+
+/// Renders findings as the stable machine-readable document behind
+/// `cargo xtask lint --format json`. Schema (version 1): `version`,
+/// `clean`, and `findings[]` of `{rule, path, line, message, snippet,
+/// allow_candidate}` — `snippet` is the offending source line re-read from
+/// disk (null if unavailable), `allow_candidate` a paste-ready annotation
+/// (null for rules with no escape hatch). Fields are only ever added;
+/// `version` bumps if a field's meaning changes.
+pub fn render_json(root: &Path, findings: &[Finding]) -> String {
+    let mut cache = std::collections::BTreeMap::new();
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"clean\": {},\n", findings.is_empty()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"rule\": {},\n", json_str(f.rule.id())));
+        out.push_str(&format!("      \"path\": {},\n", json_str(&f.path)));
+        out.push_str(&format!("      \"line\": {},\n", f.line));
+        out.push_str(&format!("      \"message\": {},\n", json_str(&f.message)));
+        let snippet = snippet_for(root, &mut cache, f);
+        out.push_str(&format!(
+            "      \"snippet\": {},\n",
+            snippet
+                .as_deref()
+                .map(json_str)
+                .unwrap_or_else(|| "null".to_string())
+        ));
+        let candidate = if f.rule.allowable() {
+            Some(format!("// lint: allow({}) — <reason>", f.rule.id()))
+        } else {
+            None
+        };
+        out.push_str(&format!(
+            "      \"allow_candidate\": {}\n",
+            candidate
+                .as_deref()
+                .map(json_str)
+                .unwrap_or_else(|| "null".to_string())
+        ));
+        out.push_str("    }");
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("]\n}");
+    out
 }
 
 // ---- workspace walk -------------------------------------------------------
@@ -811,6 +531,7 @@ pub fn work_items(root: &Path) -> Vec<WorkItem> {
     let mut items = Vec::new();
     let mut push_tree = |src_dir: PathBuf, crate_name: String| {
         let deterministic = DETERMINISTIC_CRATES.contains(&crate_name.as_str());
+        let xtask = crate_name == "xtask";
         let mut files = Vec::new();
         collect_rs_files(&src_dir, &mut files);
         for abs in files {
@@ -821,9 +542,9 @@ pub fn work_items(root: &Path) -> Vec<WorkItem> {
                 .replace('\\', "/");
             let class = FileClass {
                 deterministic,
-                blessed_float_file: rel == BLESSED_FLOAT_FILE,
                 lib_root: abs.file_name().is_some_and(|f| f == "lib.rs")
                     && abs.parent() == Some(src_dir.as_path()),
+                xtask,
             };
             items.push(WorkItem { abs, rel, class });
         }
@@ -851,8 +572,12 @@ pub fn work_items(root: &Path) -> Vec<WorkItem> {
 }
 
 /// Runs the full audit over the workspace at `root`, applying the
-/// allowlist at `xtask/lint.allow` if present. Returns all findings,
-/// sorted by path and line.
+/// allowlist at `xtask/lint.allow` if present. Two passes: the first lexes
+/// and HIR-parses every audited file and folds struct fields into one
+/// workspace [`hir::FieldTable`]; the second re-resolves bindings against
+/// that table and runs the rules, so `self.states.iter()` in one crate
+/// resolves against a `states: HashMap<..>` declared in another. Returns
+/// all findings, sorted by path and line.
 pub fn run_lint(root: &Path) -> Vec<Finding> {
     let allow_path = root.join("xtask").join("lint.allow");
     let allow_origin = "xtask/lint.allow";
@@ -861,11 +586,40 @@ pub fn run_lint(root: &Path) -> Vec<Finding> {
         Err(_) => Allowlist::empty(),
     };
     let mut findings: Vec<Finding> = allowlist.parse_findings.clone();
+
+    // Pass 1: analyze every file, build the workspace field table.
+    struct Analyzed {
+        rel: String,
+        class: FileClass,
+        lexed: Lexed,
+        hir: hir::FileHir,
+    }
+    let mut analyzed = Vec::new();
+    let mut fields = hir::FieldTable::default();
     for item in work_items(root) {
         let Ok(src) = std::fs::read_to_string(&item.abs) else {
             continue;
         };
-        for f in lint_source(&item.rel, &src, &item.class) {
+        let lexed = lex(&src);
+        let file_hir = hir::parse(&lexed.tokens);
+        // Only simulation-path structs feed field resolution: a bench or
+        // xtask struct reusing a field name must not reclassify receivers
+        // inside the deterministic crates.
+        if item.class.deterministic {
+            fields.add_file(&file_hir);
+        }
+        analyzed.push(Analyzed {
+            rel: item.rel,
+            class: item.class,
+            lexed,
+            hir: file_hir,
+        });
+    }
+
+    // Pass 2: resolve bindings against the full table, run the rules.
+    for a in &mut analyzed {
+        hir::refine_bindings(&a.lexed.tokens, &mut a.hir, &fields);
+        for f in lint_analyzed(&a.rel, &a.lexed, &a.hir, &fields, &a.class) {
             if f.rule.allowable() && allowlist.allows(f.rule, &f.path) {
                 continue;
             }

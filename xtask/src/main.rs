@@ -1,5 +1,31 @@
 //! `cargo xtask` — workspace automation. The only subcommand today is
 //! `lint`, the determinism audit (see lib.rs for the rules).
+//!
+//! `lint` prints human-readable findings by default; `lint --format json`
+//! emits one machine-readable document for CI (schema below), which the
+//! workflow uploads as an artifact and feeds through a GitHub problem
+//! matcher for inline annotations:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "clean": false,
+//!   "findings": [
+//!     {
+//!       "rule": "unordered-iter",
+//!       "path": "crates/core/src/foo.rs",
+//!       "line": 42,
+//!       "message": "...",
+//!       "snippet": "    for id in self.live.keys() {",
+//!       "allow_candidate": "// lint: allow(unordered-iter) — <reason>"
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! The schema is stable: fields are only ever added, and `version` bumps if
+//! a field's meaning changes. `allow_candidate` is `null` for rules with no
+//! escape hatch (`unsafe-code`, `missing-forbid`) and for the meta-rules.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -19,33 +45,69 @@ fn repo_root() -> PathBuf {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint") => lint(),
-        Some(other) => {
-            eprintln!("unknown xtask subcommand `{other}`");
-            eprintln!("usage: cargo xtask lint");
-            ExitCode::from(2)
+        Some("lint") => {
+            let mut format = Format::Human;
+            let rest: Vec<String> = args.collect();
+            let mut i = 0usize;
+            while let Some(a) = rest.get(i) {
+                match a.as_str() {
+                    "--format" => {
+                        let val = rest.get(i.saturating_add(1)).map(String::as_str);
+                        match val {
+                            Some("human") => format = Format::Human,
+                            Some("json") => format = Format::Json,
+                            _ => return usage("lint --format takes `human` or `json`"),
+                        }
+                        i = i.saturating_add(2);
+                    }
+                    other => return usage(&format!("unknown lint flag `{other}`")),
+                }
+            }
+            lint(format)
         }
-        None => {
-            eprintln!("usage: cargo xtask lint");
-            ExitCode::from(2)
-        }
+        Some(other) => usage(&format!("unknown xtask subcommand `{other}`")),
+        None => usage("missing subcommand"),
     }
 }
 
-fn lint() -> ExitCode {
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    eprintln!("usage: cargo xtask lint [--format human|json]");
+    ExitCode::from(2)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn lint(format: Format) -> ExitCode {
     let root = repo_root();
     let findings = xtask::run_lint(&root);
-    if findings.is_empty() {
-        println!("xtask lint: determinism audit clean");
-        return ExitCode::SUCCESS;
+    match format {
+        Format::Human => {
+            if findings.is_empty() {
+                println!("xtask lint: determinism audit clean");
+                return ExitCode::SUCCESS;
+            }
+            for f in &findings {
+                println!("{f}");
+            }
+            println!(
+                "xtask lint: {} violation{} of the byte-identical-schedule contract (DESIGN.md §8)",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::FAILURE
+        }
+        Format::Json => {
+            println!("{}", xtask::render_json(&root, &findings));
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
     }
-    for f in &findings {
-        println!("{f}");
-    }
-    println!(
-        "xtask lint: {} violation{} of the byte-identical-schedule contract (DESIGN.md §8)",
-        findings.len(),
-        if findings.len() == 1 { "" } else { "s" }
-    );
-    ExitCode::FAILURE
 }

@@ -1,0 +1,84 @@
+//! `clone-exhaustive`: a hand-written `impl Clone` must account for every
+//! declared field of its struct.
+//!
+//! The serving sim's snapshot/fork (DESIGN.md §13) rests on
+//! `ServingSim::clone` being a *structural deep copy*: a field added to
+//! the struct but not to the manual clone would fork simulations that
+//! silently diverge from their donor. The manual impl uses an exhaustive
+//! struct literal, so the *compiler* catches a forgotten field today — but
+//! only because the impl happens to be written that way. This rule turns
+//! the convention into a checked invariant: for every `impl Clone for X`
+//! in an audited crate where `struct X` has named fields, each field name
+//! must be mentioned inside the `fn clone` body. An impl that switches to
+//! `..Default::default()` filling, or clones through a helper that skips a
+//! field, fails the audit even though it compiles.
+//!
+//! Deliberately *not* required: that the mention is `self.field.clone()` —
+//! `pool: None` is a legitimate way to handle a non-clonable worker pool,
+//! and judging the expression is the human's job. Mention is the invariant
+//! the machine can hold.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokenKind;
+use crate::rules::RuleCtx;
+use crate::{Finding, Rule};
+
+/// The pass.
+pub fn clone_exhaustive(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    for im in &ctx.hir.impls {
+        if im.trait_name.as_deref() != Some("Clone") || ctx.hir.in_test(im.body.0) {
+            continue;
+        }
+        let Some(def) = ctx.hir.structs.iter().find(|s| s.name == im.self_ty) else {
+            // The struct lives in another file (or is foreign): out of
+            // reach for the item scan, and no manual Clone in the audited
+            // tree is written that way — the smoke tests keep this honest.
+            continue;
+        };
+        if def.fields.is_empty() {
+            continue;
+        }
+        // The `fn clone` inside this impl body.
+        let Some(clone_fn) = ctx
+            .hir
+            .fns
+            .iter()
+            .find(|f| f.name == "clone" && im.body.0 <= f.body.0 && f.body.1 <= im.body.1)
+        else {
+            continue;
+        };
+        let (start, end) = clone_fn.body;
+        let mentioned: BTreeSet<&str> = ctx
+            .tokens
+            .get(start..end)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        let missing: Vec<&str> = def
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .filter(|name| !mentioned.contains(name))
+            .collect();
+        if !missing.is_empty() {
+            ctx.emit(
+                out,
+                clone_fn.line,
+                Rule::CloneExhaustive,
+                format!(
+                    "manual `impl Clone for {}` never mentions declared field{} {} — \
+                     a snapshot taken through this clone would silently drop state; \
+                     clone the field{} or handle {} explicitly",
+                    im.self_ty,
+                    if missing.len() == 1 { "" } else { "s" },
+                    missing.join(", "),
+                    if missing.len() == 1 { "" } else { "s" },
+                    if missing.len() == 1 { "it" } else { "them" },
+                ),
+            );
+        }
+    }
+}

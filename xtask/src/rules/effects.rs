@@ -1,0 +1,121 @@
+//! `effect-ownership`: cross-shard effects must flow through the
+//! ledger-counting emit paths.
+//!
+//! The sharded core's teardown reconciliation (DESIGN.md §10) proves that
+//! every effect a shard *emitted* was *applied* exactly once at a barrier
+//! — but the proof is only as good as the ledger. The canonical paths
+//! (`drain_window`'s emit helpers) tally each effect in an
+//! [`EffectCounts`] ledger as they key and buffer it; an effect pushed
+//! onto an outbox directly, or an `EffectKey` minted outside those paths,
+//! would cross the barrier *uncounted* and the emitted/applied ledgers
+//! would still balance — the one corruption the dynamic check cannot see.
+//!
+//! The rule, HIR-semantic rather than textual: inside a deterministic
+//! crate, any function that
+//!
+//! * constructs an `EffectKey { .. }` literal, or
+//! * pushes onto an `effects` buffer (`<outbox>.effects.push(..)`),
+//!
+//! must also call a ledger tally (`.count(..)`) somewhere in its body.
+//! Functions that only *consume* effects (the barrier merge, appliers
+//! pattern-matching on `Effect::..`) never construct keys or push buffers,
+//! so they are untouched. Type/struct declarations and test code are
+//! exempt.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::RuleCtx;
+use crate::{Finding, Rule};
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == text
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == text
+}
+
+/// Whether the function body containing token `i` calls `.count(`.
+fn fn_tallies_ledger(ctx: &RuleCtx<'_>, i: usize) -> bool {
+    let Some(f) = ctx.hir.enclosing_fn(i) else {
+        return false;
+    };
+    let (start, end) = f.body;
+    let body = ctx.tokens.get(start..end).unwrap_or(&[]);
+    body.windows(3).any(|w| {
+        matches!(w, [dot, m, open]
+            if is_punct(dot, ".") && is_ident(m, "count") && is_punct(open, "("))
+    })
+}
+
+/// The pass.
+pub fn effect_ownership(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || ctx.hir.in_test(i) {
+            continue;
+        }
+        // Site A: an `EffectKey { .. }` literal in expression position.
+        if t.text == "EffectKey"
+            && tokens
+                .get(i.saturating_add(1))
+                .is_some_and(|n| is_punct(n, "{"))
+        {
+            // Skip declarations, impl headers, and return-type positions:
+            // `struct EffectKey {`, `impl .. for EffectKey {`,
+            // `fn mint(..) -> EffectKey {`.
+            let declared = i
+                .checked_sub(1)
+                .and_then(|p| tokens.get(p))
+                .is_some_and(|p| {
+                    (p.kind == TokenKind::Ident
+                        && matches!(
+                            p.text.as_str(),
+                            "struct" | "enum" | "trait" | "for" | "impl"
+                        ))
+                        || is_punct(p, ">")
+                });
+            if declared || fn_tallies_ledger(ctx, i) {
+                continue;
+            }
+            ctx.emit(
+                out,
+                t.line,
+                Rule::EffectOwnership,
+                "`EffectKey { .. }` constructed outside a ledger-counting emit path: \
+                 the enclosing function never tallies `.count(..)`, so this effect \
+                 would cross the shard barrier unreconciled; emit through the \
+                 `drain_window` helpers instead"
+                    .to_string(),
+            );
+            continue;
+        }
+        // Site B: a direct push onto an effects outbox:
+        // `<recv>.effects.push(..)`.
+        if t.text == "effects"
+            && i.checked_sub(1)
+                .and_then(|p| tokens.get(p))
+                .is_some_and(|p| is_punct(p, "."))
+            && tokens
+                .get(i.saturating_add(1))
+                .is_some_and(|n| is_punct(n, "."))
+            && tokens
+                .get(i.saturating_add(2))
+                .is_some_and(|n| is_ident(n, "push"))
+            && tokens
+                .get(i.saturating_add(3))
+                .is_some_and(|n| is_punct(n, "("))
+            && !fn_tallies_ledger(ctx, i)
+        {
+            ctx.emit(
+                out,
+                t.line,
+                Rule::EffectOwnership,
+                "direct push onto an `effects` outbox in a function that never \
+                 tallies the emission ledger (`.count(..)`): the emitted/applied \
+                 reconciliation would not see this effect; route it through the \
+                 `drain_window` emit helpers"
+                    .to_string(),
+            );
+        }
+    }
+}

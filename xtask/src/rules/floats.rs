@@ -1,0 +1,72 @@
+//! `float-ord`, type-aware: raw float ordering comparisons outside the
+//! lossless `order_key` encoding.
+//!
+//! The PR 4 lexer pass fired on *every* `.partial_cmp()` / `.total_cmp()`
+//! in a deterministic crate and carried a whole-file carve-out
+//! (`BLESSED_FLOAT_FILE`) for `crates/core/src/index.rs`. This version
+//! resolves the receiver's type through the HIR instead:
+//!
+//! * a receiver that is *known non-float* (a declared non-float binding, a
+//!   resolved non-float struct field, an integer literal) is exempt —
+//!   `SimTime::partial_cmp` is a total order and never needed an
+//!   annotation;
+//! * a receiver that is float-typed (float literal, `f64` field like
+//!   `LoadReport::freeness`, declared `f64` binding) fires, which is what
+//!   `sort_by` / `min_by` / `max_by` comparators funnel through;
+//! * an unresolvable receiver still fires — `Unknown` never silences a
+//!   rule — so coverage is a strict superset of the lexer pass minus the
+//!   carve-outs it could not avoid;
+//! * `#[cfg(test)]` code is exempt: assertions over float summaries don't
+//!   produce schedule bytes.
+//!
+//! The carve-out file itself needs no exemption anymore: its `order_key`
+//! encoding compares *bit patterns* (`to_bits`), not floats, so nothing in
+//! it fires — exactly the per-site precision the whole-file escape was
+//! standing in for.
+
+use crate::hir::{receiver_approx, TypeApprox};
+use crate::lexer::TokenKind;
+use crate::rules::RuleCtx;
+use crate::{Finding, Rule};
+
+/// The pass.
+pub fn float_ord(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || (t.text != "partial_cmp" && t.text != "total_cmp") {
+            continue;
+        }
+        let dot = match i.checked_sub(1) {
+            Some(d)
+                if tokens
+                    .get(d)
+                    .is_some_and(|p| p.kind == TokenKind::Punct && p.text == ".") =>
+            {
+                d
+            }
+            _ => continue,
+        };
+        if ctx.hir.in_test(i) {
+            continue;
+        }
+        let approx = receiver_approx(tokens, dot, ctx.hir, ctx.fields);
+        if approx.known_non_float() {
+            continue;
+        }
+        let certainty = if approx == TypeApprox::Float {
+            "float-typed"
+        } else {
+            "possibly float-typed"
+        };
+        ctx.emit(
+            out,
+            t.line,
+            Rule::FloatOrd,
+            format!(
+                "raw `.{}()` on a {} receiver; route the comparison through the \
+                 lossless `order_key` encoding in crates/core/src/index.rs",
+                t.text, certainty
+            ),
+        );
+    }
+}

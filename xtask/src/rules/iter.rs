@@ -1,0 +1,297 @@
+//! `unordered-iter`, type-aware: iteration over a default-hasher container
+//! in a deterministic crate.
+//!
+//! The PR 4 lexer pass tracked identifiers bound to hash containers *per
+//! file*; this version asks the HIR instead, which buys three things the
+//! lexer could not express:
+//!
+//! * **field resolution across the workspace** — `self.states.iter()`
+//!   fires when any audited struct declares a field `states:
+//!   HashMap<..>`, even if the declaration lives in another file;
+//! * **collect-then-sort proof** — a chain that drains a hash container
+//!   into a `Vec` which is then `sort*()`ed in the same function is
+//!   order-insensitive by construction, so the two annotations PR 8-era
+//!   code carried for exactly this pattern are no longer needed;
+//! * **test exemption** — `#[cfg(test)]` code asserts over schedules, it
+//!   does not produce them, so it is out of scope.
+//!
+//! Order-insensitive terminal folds (`sum`, `count`, `min`, `max`, `all`,
+//! `any`) stay exempt as before, assuming pure closures — that assumption
+//! is on the annotator if violated.
+
+use crate::hir::{receiver_approx, skip_group, TypeApprox};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::RuleCtx;
+use crate::{Finding, Rule};
+
+/// Methods that observe iteration order on a hash container.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Iterator folds whose result cannot depend on visit order (assuming pure
+/// closures, which is on the annotator if violated).
+const ORDER_INSENSITIVE_SINKS: [&str; 6] = ["sum", "count", "min", "max", "all", "any"];
+
+/// Sorting methods that canonicalize a collected `Vec`'s order.
+const SORTS: [&str; 6] = [
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+];
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == text
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == text
+}
+
+/// Walks a method chain starting at the `(` of the first call. Returns
+/// `(terminal method name, index past the chain)` — the terminal method is
+/// the last `.m(...)` link, or `None` if the chain ends at the first call.
+fn walk_chain(tokens: &[Token], first_open: usize) -> (Option<String>, usize) {
+    let mut i = skip_group(tokens, first_open);
+    let mut terminal = None;
+    while tokens.get(i).is_some_and(|t| is_punct(t, ".")) {
+        let (m, next) = walk_one_link(tokens, i);
+        if m.is_none() {
+            break;
+        }
+        terminal = m;
+        i = next;
+    }
+    (terminal, i)
+}
+
+/// Whether any method in the chain after `first_open` is an
+/// order-insensitive sink.
+fn chain_reaches_sink(tokens: &[Token], first_open: usize) -> bool {
+    let mut i = skip_group(tokens, first_open);
+    while tokens.get(i).is_some_and(|t| is_punct(t, ".")) {
+        let (m, next) = walk_one_link(tokens, i);
+        match m {
+            Some(name) if ORDER_INSENSITIVE_SINKS.contains(&name.as_str()) => return true,
+            Some(_) => i = next,
+            None => break,
+        }
+    }
+    false
+}
+
+/// Advances past one `.m[::<..>](...)` chain link whose `.` is at `i`.
+fn walk_one_link(tokens: &[Token], dot: usize) -> (Option<String>, usize) {
+    let m = tokens
+        .get(dot.saturating_add(1))
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone());
+    let mut j = dot.saturating_add(2);
+    let colons = tokens.get(j).is_some_and(|t| is_punct(t, ":"))
+        && tokens
+            .get(j.saturating_add(1))
+            .is_some_and(|t| is_punct(t, ":"));
+    if colons {
+        j = j.saturating_add(2);
+        if tokens.get(j).is_some_and(|t| is_punct(t, "<")) {
+            let mut depth = 0i32;
+            while let Some(t) = tokens.get(j) {
+                if is_punct(t, "<") {
+                    depth += 1;
+                } else if is_punct(t, ">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j = j.saturating_add(1);
+                        break;
+                    }
+                }
+                j = j.saturating_add(1);
+            }
+        }
+    }
+    if tokens.get(j).is_some_and(|t| is_punct(t, "(")) {
+        (m, skip_group(tokens, j))
+    } else {
+        (m, j)
+    }
+}
+
+/// Whether the statement containing the call site binds a `let [mut] NAME`
+/// that is later `sort*()`ed within the enclosing function — the
+/// collect-then-sort proof of order insensitivity. `site` is the token
+/// index of the iterating method; `chain_end` is the index past the chain.
+fn collected_and_sorted(ctx: &RuleCtx<'_>, site: usize, chain_end: usize) -> bool {
+    // Walk back to the statement start, looking for `let [mut] NAME`.
+    let mut i = site;
+    let mut name: Option<String> = None;
+    while let Some(back) = i.checked_sub(1) {
+        let t = match ctx.tokens.get(back) {
+            Some(t) => t,
+            None => break,
+        };
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+        if is_ident(t, "let") {
+            let mut j = back.saturating_add(1);
+            if ctx.tokens.get(j).is_some_and(|t| is_ident(t, "mut")) {
+                j = j.saturating_add(1);
+            }
+            name = ctx
+                .tokens
+                .get(j)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone());
+            break;
+        }
+        i = back;
+    }
+    let name = match name {
+        Some(n) => n,
+        None => return false,
+    };
+    // Look forward in the enclosing function for `NAME . sort*`.
+    let body_end = ctx.hir.enclosing_fn(site).map(|f| f.body.1).unwrap_or(0);
+    let mut j = chain_end;
+    while j < body_end {
+        let hit = ctx.tokens.get(j).is_some_and(|t| is_ident(t, &name))
+            && ctx
+                .tokens
+                .get(j.saturating_add(1))
+                .is_some_and(|t| is_punct(t, "."))
+            && ctx
+                .tokens
+                .get(j.saturating_add(2))
+                .is_some_and(|t| t.kind == TokenKind::Ident && SORTS.contains(&&*t.text));
+        if hit {
+            return true;
+        }
+        j = j.saturating_add(1);
+    }
+    false
+}
+
+/// The pass.
+pub fn unordered_iter(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    // Method-call iteration: `recv.iter()`, `self.field.drain(..)`, ...
+    for (m_idx, m) in tokens.iter().enumerate() {
+        if m.kind != TokenKind::Ident || !ITER_METHODS.contains(&&*m.text) {
+            continue;
+        }
+        let dot = match m_idx.checked_sub(1) {
+            Some(d) if tokens.get(d).is_some_and(|t| is_punct(t, ".")) => d,
+            _ => continue,
+        };
+        let open = m_idx.saturating_add(1);
+        if !tokens.get(open).is_some_and(|t| is_punct(t, "(")) {
+            continue;
+        }
+        if ctx.hir.in_test(m_idx) {
+            continue;
+        }
+        if receiver_approx(tokens, dot, ctx.hir, ctx.fields) != TypeApprox::Hash {
+            continue;
+        }
+        if m.text != "retain" && chain_reaches_sink(tokens, open) {
+            continue;
+        }
+        let (terminal, chain_end) = walk_chain(tokens, open);
+        if terminal.as_deref() == Some("collect") && collected_and_sorted(ctx, m_idx, chain_end) {
+            continue;
+        }
+        let recv = dot
+            .checked_sub(1)
+            .and_then(|i| tokens.get(i))
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        ctx.emit(
+            out,
+            m.line,
+            Rule::UnorderedIter,
+            format!(
+                "`{}.{}()` iterates a default-hasher container in a deterministic crate; \
+                 use a BTree container, sort before use, or annotate \
+                 `// lint: allow(unordered-iter) — <reason>`",
+                recv, m.text
+            ),
+        );
+    }
+    // `for`-loop iteration: `for x in &name { ... }` / `for x in &self.f {}`.
+    for (f_idx, f) in tokens.iter().enumerate() {
+        if !is_ident(f, "for") || ctx.hir.in_test(f_idx) {
+            continue;
+        }
+        // Find the `in` of this loop header (within a small window).
+        let mut j = f_idx.saturating_add(1);
+        let mut in_at = None;
+        while j < tokens.len() && j < f_idx.saturating_add(12) {
+            match tokens.get(j) {
+                Some(t) if is_ident(t, "in") => {
+                    in_at = Some(j);
+                    break;
+                }
+                Some(t) if is_punct(t, "{") => break,
+                Some(_) => j = j.saturating_add(1),
+                None => break,
+            }
+        }
+        let in_at = match in_at {
+            Some(i) => i,
+            None => continue,
+        };
+        // The iterated expression: tokens up to the body `{`. A `(` means a
+        // method call — the pass above owns that case.
+        let mut k = in_at.saturating_add(1);
+        let mut last_ident: Option<usize> = None;
+        let mut has_call = false;
+        while let Some(t) = tokens.get(k) {
+            if is_punct(t, "{") {
+                break;
+            }
+            if is_punct(t, "(") {
+                has_call = true;
+            }
+            if t.kind == TokenKind::Ident {
+                last_ident = Some(k);
+            }
+            k = k.saturating_add(1);
+        }
+        if has_call {
+            continue;
+        }
+        let id_idx = match last_ident {
+            Some(i) => i,
+            None => continue,
+        };
+        // Resolve the iterated name like a method receiver would be: the
+        // pseudo-dot position is just past the ident.
+        let approx = receiver_approx(tokens, id_idx.saturating_add(1), ctx.hir, ctx.fields);
+        if approx == TypeApprox::Hash {
+            if let Some(id) = tokens.get(id_idx) {
+                ctx.emit(
+                    out,
+                    id.line,
+                    Rule::UnorderedIter,
+                    format!(
+                        "`for .. in {}` iterates a default-hasher container in a \
+                         deterministic crate; use a BTree container or sort first",
+                        id.text
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The purely token-level rules, carried over from the PR 4 lexer pass:
+//! `wall-clock`, `unsafe-code`, `serialized-hash`, and `missing-forbid`.
+//! These need no type information — the banned construct is the token
+//! itself — so they run straight over the stream.
+
+use crate::hir::skip_group;
+use crate::lexer::{Token, TokenKind};
+use crate::rules::RuleCtx;
+use crate::{Finding, Rule};
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == text
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == text
+}
+
+/// `wall-clock`: no `Instant` / `SystemTime` in deterministic crates.
+pub fn wall_clock(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    for t in ctx.tokens {
+        if t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            ctx.emit(
+                out,
+                t.line,
+                Rule::WallClock,
+                format!(
+                    "`{}` is a wall-clock time source; simulation paths must use the \
+                     virtual clock (llumnix_sim::SimTime / Clock) only",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `unsafe-code`: no `unsafe` anywhere, with no escape hatch.
+pub fn unsafe_code(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    for t in ctx.tokens {
+        if is_ident(t, "unsafe") {
+            ctx.emit(
+                out,
+                t.line,
+                Rule::UnsafeCode,
+                "`unsafe` is banned workspace-wide (no escape hatch); \
+                 the simulator needs none"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// `serialized-hash`: no default-hasher container inside a
+/// `#[derive(Serialize)]` type.
+pub fn serialized_hash(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // An outer attribute: `#[ ... ]`.
+        let open = i.saturating_add(1);
+        let is_attr = tokens.get(i).is_some_and(|t| is_punct(t, "#"))
+            && tokens.get(open).is_some_and(|t| is_punct(t, "["));
+        if !is_attr {
+            i = i.saturating_add(1);
+            continue;
+        }
+        let end = skip_group(tokens, open);
+        let attr = tokens.get(open..end).unwrap_or(&[]);
+        let is_serialize_derive = attr.iter().any(|t| is_ident(t, "derive"))
+            && attr.iter().any(|t| is_ident(t, "Serialize"));
+        i = end;
+        if !is_serialize_derive {
+            continue;
+        }
+        // Skip further attributes and doc noise up to the item keyword.
+        let mut j = i;
+        loop {
+            let jo = j.saturating_add(1);
+            match tokens.get(j) {
+                None => return,
+                Some(t) if is_punct(t, "#") && tokens.get(jo).is_some_and(|t| is_punct(t, "[")) => {
+                    j = skip_group(tokens, jo);
+                }
+                Some(t)
+                    if t.kind == TokenKind::Ident
+                        && matches!(t.text.as_str(), "struct" | "enum") =>
+                {
+                    break;
+                }
+                Some(_) => j = jo,
+            }
+        }
+        // The item body: `{ ... }` or `( ... )` (tuple struct) or `;`.
+        let mut k = j.saturating_add(1);
+        while tokens
+            .get(k)
+            .is_some_and(|t| !is_punct(t, "{") && !is_punct(t, "(") && !is_punct(t, ";"))
+        {
+            k = k.saturating_add(1);
+        }
+        if k >= tokens.len() || tokens.get(k).is_some_and(|t| is_punct(t, ";")) {
+            i = k;
+            continue;
+        }
+        let body_end = skip_group(tokens, k);
+        for t in tokens.get(k..body_end).unwrap_or(&[]) {
+            if t.kind == TokenKind::Ident && crate::hir::HASH_TYPES.contains(&&*t.text) {
+                ctx.emit(
+                    out,
+                    t.line,
+                    Rule::SerializedHash,
+                    format!(
+                        "`{}` inside a `#[derive(Serialize)]` type: serialized output \
+                         would depend on hasher order; use a BTree container",
+                        t.text
+                    ),
+                );
+            }
+        }
+        i = body_end;
+    }
+}
+
+/// `missing-forbid`: every crate root carries `#![forbid(unsafe_code)]`.
+pub fn missing_forbid(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    let tokens = ctx.tokens;
+    for i in 0..tokens.len() {
+        if tokens.get(i).is_some_and(|t| is_punct(t, "#"))
+            && tokens
+                .get(i.saturating_add(1))
+                .is_some_and(|t| is_punct(t, "!"))
+            && tokens
+                .get(i.saturating_add(2))
+                .is_some_and(|t| is_punct(t, "["))
+            && tokens
+                .get(i.saturating_add(3))
+                .is_some_and(|t| is_ident(t, "forbid"))
+            && tokens
+                .get(i.saturating_add(5))
+                .is_some_and(|t| is_ident(t, "unsafe_code"))
+        {
+            return;
+        }
+    }
+    ctx.emit(
+        out,
+        1,
+        Rule::MissingForbid,
+        "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+    );
+}

@@ -1,0 +1,59 @@
+// Fixture: manual Clone impls that must NOT trip `clone-exhaustive` —
+// every field mentioned (even when handled rather than cloned), a derived
+// Clone, a fieldless struct, and test-only code. Not compiled — consumed
+// by lint_rules.rs.
+
+struct Snapshot {
+    now: u64,
+    queue: Vec<u64>,
+    pool: Option<u32>,
+}
+
+impl Clone for Snapshot {
+    fn clone(&self) -> Self {
+        Snapshot {
+            now: self.now,
+            queue: self.queue.clone(),
+            // Deliberately reset, not cloned: mentioning the field is the
+            // contract; judging the expression is the reviewer's job.
+            pool: None,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Derived {
+    a: u64,
+    b: Vec<u64>,
+}
+
+struct Marker;
+
+impl Clone for Marker {
+    fn clone(&self) -> Self {
+        Marker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    struct Probe {
+        hits: u64,
+        misses: u64,
+    }
+
+    impl Clone for Probe {
+        fn clone(&self) -> Self {
+            // Test-only code is out of audit scope even when sloppy:
+            // `misses` is never mentioned here.
+            Probe {
+                hits: self.hits,
+                ..zeroed()
+            }
+        }
+    }
+
+    fn zeroed() -> Probe {
+        Probe { hits: 0, misses: 0 }
+    }
+}

@@ -1,0 +1,42 @@
+// Fixture: a manual `impl Clone` that skips a declared field must trip
+// `clone-exhaustive`. Not compiled — consumed by lint_rules.rs.
+
+#[derive(Default)]
+struct Snapshot {
+    now: u64,
+    queue: Vec<u64>,
+    rng_state: u128,
+}
+
+impl Clone for Snapshot {
+    fn clone(&self) -> Self {
+        // `rng_state` is never mentioned: the rest-filler defaults it, so a
+        // fork through this clone silently diverges from its donor.
+        Snapshot {
+            now: self.now,
+            queue: self.queue.clone(),
+            ..Default::default()
+        }
+    }
+}
+
+struct Reset {
+    epoch: u64,
+    seen: Vec<u64>,
+}
+
+impl Clone for Reset {
+    fn clone(&self) -> Self {
+        // Neither field is mentioned — both must be reported.
+        Reset::fresh()
+    }
+}
+
+impl Reset {
+    fn fresh() -> Self {
+        Reset {
+            epoch: 0,
+            seen: Vec::new(),
+        }
+    }
+}

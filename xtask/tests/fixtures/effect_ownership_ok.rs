@@ -1,0 +1,48 @@
+// Fixture: the canonical ledger-counting emit path, declarations, and
+// test code must NOT trip `effect-ownership`. Not compiled — consumed by
+// lint_rules.rs.
+
+struct EffectKey {
+    at: u64,
+    entity: u64,
+    seq: u32,
+}
+
+enum Effect {
+    Arrive(u64),
+}
+
+struct Ledger {
+    arrives: u64,
+}
+
+impl Ledger {
+    fn count(&mut self, _eff: &Effect) {
+        self.arrives += 1;
+    }
+}
+
+struct Outbox {
+    effects: Vec<(EffectKey, Effect)>,
+}
+
+fn emit(ledger: &mut Ledger, out: &mut Outbox, at: u64, entity: u64, seq: u32, eff: Effect) {
+    // The canonical path: tally the ledger, then key and buffer the
+    // effect. Both sites sit in a function that calls `.count(..)`.
+    ledger.count(&eff);
+    out.effects.push((EffectKey { at, entity, seq }, eff));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(at: u64) -> EffectKey {
+        // Test helpers mint keys freely; assertions are not emissions.
+        EffectKey {
+            at,
+            entity: 0,
+            seq: 0,
+        }
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: effect construction / outbox pushes outside a ledger-counting
+// path must trip `effect-ownership`. Not compiled — consumed by
+// lint_rules.rs.
+
+struct EffectKey {
+    at: u64,
+    entity: u64,
+    seq: u32,
+}
+
+enum Effect {
+    Arrive(u64),
+}
+
+struct Outbox {
+    effects: Vec<(EffectKey, Effect)>,
+}
+
+fn smuggle_key(at: u64, entity: u64) -> EffectKey {
+    // An EffectKey minted in a function that never tallies the emission
+    // ledger: it would cross the barrier uncounted.
+    EffectKey {
+        at,
+        entity,
+        seq: 0,
+    }
+}
+
+fn smuggle_push(out: &mut Outbox, key: EffectKey, eff: Effect) {
+    // A direct outbox push with no `.count(..)` in sight.
+    out.effects.push((key, eff));
+}

@@ -25,5 +25,18 @@ impl PartialOrd for Score {
 
 fn sort_for_display(xs: &mut [f64]) {
     // lint: allow(float-ord) — display-only ordering, inputs are finite
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("display values are finite"));
+}
+
+struct Lamport {
+    tick: u64,
+}
+
+impl Lamport {
+    fn cmp_to(&self, other: &Lamport) -> Option<std::cmp::Ordering> {
+        // A known non-float receiver (u64 field): `partial_cmp` here is a
+        // total order, so the type-aware rule stays silent without any
+        // annotation — the lexer-era pass needed one.
+        self.tick.partial_cmp(&other.tick)
+    }
 }

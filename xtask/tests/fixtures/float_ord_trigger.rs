@@ -14,3 +14,17 @@ fn argmax(xs: &[f64]) -> usize {
 fn sort_totally(xs: &mut [f64]) {
     xs.sort_by(|a, b| a.total_cmp(b));
 }
+
+struct Load {
+    freeness: f64,
+}
+
+impl Load {
+    fn beats(&self, other: &Load) -> bool {
+        // A float-typed *field* receiver, resolved through the HIR's
+        // workspace field table rather than a local binding.
+        self.freeness
+            .partial_cmp(&other.freeness)
+            .map_or(false, |o| o.is_gt())
+    }
+}

@@ -1,0 +1,49 @@
+// Fixture: justified panic handling that must NOT trip `panic-path` —
+// expect with a real message, plain loop indexing, get-based access, the
+// modulo-length idiom, debug_assert operands, test code, and an annotated
+// unwrap. Not compiled — consumed by lint_rules.rs.
+
+struct Calendar {
+    buckets: Vec<u64>,
+    labels: std::collections::BTreeMap<u64, String>,
+}
+
+fn head(c: &Calendar) -> u64 {
+    // The expect message is the in-language proof obligation.
+    *c.buckets.first().expect("calendar is never empty after init")
+}
+
+fn nth(c: &Calendar, i: usize) -> u64 {
+    // Plain loop-style indexing: the bound is adjacent to the use.
+    c.buckets[i]
+}
+
+fn neighbor(c: &Calendar, i: usize) -> u64 {
+    *c.buckets
+        .get(i + 1)
+        .expect("caller checked i against len - 1")
+}
+
+fn wrapped(c: &Calendar, seed: u64) -> u64 {
+    // Modulo-of-length is in range by construction.
+    c.buckets[seed as usize % c.buckets.len()]
+}
+
+fn check(c: &Calendar) {
+    debug_assert_eq!(c.buckets.first().unwrap(), &0, "calendar must start at 0");
+}
+
+fn blessed(c: &Calendar) -> u64 {
+    // lint: allow(panic-path) — fixture demonstrating the escape hatch
+    *c.buckets.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(c: &Calendar) -> u64 {
+        // Test code unwraps freely.
+        c.labels.get(&0).unwrap().len() as u64 + c.buckets[0 + 1]
+    }
+}

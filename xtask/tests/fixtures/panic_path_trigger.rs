@@ -1,0 +1,24 @@
+// Fixture: unjustified panic sites in deterministic code must trip
+// `panic-path` — a bare unwrap, a vacuous expect message, and a computed
+// index into a known Vec. Not compiled — consumed by lint_rules.rs.
+
+struct Calendar {
+    buckets: Vec<u64>,
+}
+
+fn head(c: &Calendar) -> u64 {
+    *c.buckets.first().unwrap()
+}
+
+fn tail(c: &Calendar) -> u64 {
+    *c.buckets.last().expect("ok")
+}
+
+fn neighbor(c: &Calendar, i: usize) -> u64 {
+    c.buckets[i + 1]
+}
+
+fn scaled(c: &Calendar, i: usize) -> u64 {
+    let stride: usize = 4;
+    c.buckets[i * stride]
+}

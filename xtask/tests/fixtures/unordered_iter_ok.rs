@@ -40,3 +40,11 @@ fn sorted_loads(f: &Fleet) -> Vec<u64> {
     out.sort_unstable();
     out
 }
+
+fn sorted_without_annotation(f: &Fleet) -> Vec<u64> {
+    // No annotation needed: the HIR proves the collected Vec is sorted in
+    // this same function before anyone can observe hasher order.
+    let mut ids: Vec<u64> = f.loads.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}

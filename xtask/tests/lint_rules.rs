@@ -80,25 +80,36 @@ fn wall_clock_ignores_comments_strings_and_virtual_time() {
 fn float_ord_triggers_on_partial_and_total_cmp() {
     let src = include_str!("fixtures/float_ord_trigger.rs");
     let findings = lint_source("fixtures/float_ord_trigger.rs", src, &det());
-    assert_eq!(rules_of(&findings), vec![Rule::FloatOrd, Rule::FloatOrd]);
+    // Unknown-receiver partial_cmp, closure-param total_cmp, and the
+    // field-resolved f64 receiver.
+    assert_eq!(
+        rules_of(&findings),
+        vec![Rule::FloatOrd, Rule::FloatOrd, Rule::FloatOrd]
+    );
 }
 
 #[test]
 fn float_ord_spares_order_key_definitions_and_annotations() {
+    // Includes the known-non-float receiver (`u64` field), which the
+    // lexer-era pass could only silence with an annotation or the
+    // whole-file carve-out.
     let src = include_str!("fixtures/float_ord_ok.rs");
     let findings = lint_source("fixtures/float_ord_ok.rs", src, &det());
     assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]
-fn float_ord_is_off_in_the_blessed_file() {
-    let src = include_str!("fixtures/float_ord_trigger.rs");
-    let class = FileClass {
-        deterministic: true,
-        blessed_float_file: true,
-        ..Default::default()
-    };
-    let findings = lint_source("fixtures/float_ord_trigger.rs", src, &class);
+fn the_order_key_file_passes_without_a_carve_out() {
+    // PR 4 exempted crates/core/src/index.rs wholesale (BLESSED_FLOAT_FILE)
+    // because the lexer could not tell bit-pattern comparisons from float
+    // comparisons. The type-aware pass audits it like any other file.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("workspace root")
+        .to_path_buf();
+    let src = std::fs::read_to_string(root.join("crates/core/src/index.rs"))
+        .expect("index.rs is part of the audited tree");
+    let findings = lint_source("crates/core/src/index.rs", &src, &det());
     assert!(findings.is_empty(), "{findings:?}");
 }
 
@@ -212,6 +223,213 @@ bogus-rule crates/demo/src/d.rs whatever
     assert!(!stale.allows(Rule::FloatOrd, "crates/demo/src/never.rs"));
     let unused = stale.unused_findings("xtask/lint.allow");
     assert_eq!(rules_of(&unused), vec![Rule::UnusedAllow]);
+}
+
+#[test]
+fn clone_exhaustive_triggers_on_skipped_fields() {
+    let src = include_str!("fixtures/clone_exhaustive_trigger.rs");
+    let findings = lint_source("fixtures/clone_exhaustive_trigger.rs", src, &det());
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::CloneExhaustive)
+        .collect();
+    assert_eq!(hits.len(), 2, "{findings:?}");
+    assert!(
+        hits[0].message.contains("rng_state"),
+        "the rest-filled clone names its skipped field: {}",
+        hits[0].message
+    );
+    assert!(
+        hits[1].message.contains("epoch") && hits[1].message.contains("seen"),
+        "the delegating clone names every skipped field: {}",
+        hits[1].message
+    );
+}
+
+#[test]
+fn clone_exhaustive_spares_mentions_derives_and_tests() {
+    let src = include_str!("fixtures/clone_exhaustive_ok.rs");
+    let findings = lint_source("fixtures/clone_exhaustive_ok.rs", src, &det());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn deleting_a_field_from_the_serving_sim_clone_fails_the_lint() {
+    // The acceptance check for the snapshot/fork contract: the lint — not
+    // just the compiler — must catch a field dropped from ServingSim's
+    // manual deep clone.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("workspace root")
+        .to_path_buf();
+    let src = std::fs::read_to_string(root.join("crates/core/src/serving.rs"))
+        .expect("serving.rs is part of the audited tree");
+    let sabotage = "crash_lost_at: self.crash_lost_at.clone(),";
+    assert!(
+        src.contains(sabotage),
+        "the clone line this test deletes must exist in serving.rs"
+    );
+    let broken = src.replacen(sabotage, "", 1);
+    let findings = lint_source("crates/core/src/serving.rs", &broken, &det());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::CloneExhaustive && f.message.contains("crash_lost_at")),
+        "dropping a clone line must trip clone-exhaustive: {findings:?}"
+    );
+    // And the unmodified file passes, so the finding is the deletion's.
+    let clean = lint_source("crates/core/src/serving.rs", &src, &det());
+    assert!(
+        !clean.iter().any(|f| f.rule == Rule::CloneExhaustive),
+        "{clean:?}"
+    );
+}
+
+#[test]
+fn effect_ownership_triggers_outside_ledger_paths() {
+    let src = include_str!("fixtures/effect_ownership_trigger.rs");
+    let findings = lint_source("fixtures/effect_ownership_trigger.rs", src, &det());
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::EffectOwnership)
+        .collect();
+    // The smuggled EffectKey literal and the direct outbox push.
+    assert_eq!(hits.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn effect_ownership_spares_counting_paths_and_tests() {
+    let src = include_str!("fixtures/effect_ownership_ok.rs");
+    let findings = lint_source("fixtures/effect_ownership_ok.rs", src, &det());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_path_triggers_on_unjustified_sites() {
+    let src = include_str!("fixtures/panic_path_trigger.rs");
+    let findings = lint_source("fixtures/panic_path_trigger.rs", src, &det());
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicPath)
+        .collect();
+    // Bare unwrap, vacuous expect, and two computed Vec indexes.
+    assert_eq!(hits.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn panic_path_spares_justified_sites() {
+    let src = include_str!("fixtures/panic_path_ok.rs");
+    let findings = lint_source("fixtures/panic_path_ok.rs", src, &det());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_path_and_unordered_iter_audit_xtask_itself() {
+    let class = FileClass {
+        xtask: true,
+        ..Default::default()
+    };
+    let src = "struct W { q: Vec<u64> }\n\
+               fn f(w: &W, i: usize) -> u64 { w.q[i + 1].max(w.q.first().copied().unwrap()) }\n";
+    let findings = lint_source("xtask/src/demo.rs", src, &class);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::PanicPath),
+        "{findings:?}"
+    );
+    // ...but the simulation-only rules stay off for the linter's own code.
+    let float = "fn g(a: f64, b: f64) { a.partial_cmp(&b); }";
+    let findings = lint_source("xtask/src/demo.rs", float, &class);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hir_round_trips_every_audited_file() {
+    // The HIR item scan must never choke on real code: every audited file
+    // lexes, parses, and resolves without panicking, and files known to
+    // define items actually surface them (guarding against a parser that
+    // "succeeds" by finding nothing).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("workspace root")
+        .to_path_buf();
+    let items = work_items(&root);
+    assert!(items.len() >= 10, "suspiciously few audited files");
+    let mut fields = xtask::hir::FieldTable::default();
+    let mut parsed = Vec::new();
+    for item in &items {
+        let src = std::fs::read_to_string(&item.abs).expect("audited file is readable");
+        let lexed = xtask::lexer::lex(&src);
+        let hir = xtask::hir::parse(&lexed.tokens);
+        let has_fn = src.contains("fn ");
+        assert!(
+            !has_fn || !hir.fns.is_empty(),
+            "{}: source declares functions but the HIR found none",
+            item.rel
+        );
+        fields.add_file(&hir);
+        parsed.push((item.rel.clone(), lexed, hir));
+    }
+    for (_, lexed, hir) in &mut parsed {
+        xtask::hir::refine_bindings(&lexed.tokens, hir, &fields);
+    }
+    // Spot-check workspace resolution: ServingSim's hash-container field
+    // and the float load fields must be classified from their declarations.
+    assert!(
+        fields.may_be_hash("crash_lost_at")
+            || fields.lookup("crash_lost_at") != xtask::hir::TypeApprox::Unknown,
+        "serving.rs fields must reach the table"
+    );
+}
+
+#[test]
+fn json_report_carries_the_stable_schema() {
+    // CI consumes this document (artifact + problem matcher): rule id,
+    // path, line, message, snippet, allow-candidate, in that shape.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("workspace root")
+        .to_path_buf();
+    let findings = vec![
+        xtask::Finding {
+            path: "crates/core/src/serving.rs".to_string(),
+            line: 1,
+            rule: Rule::UnorderedIter,
+            message: "demo \"quoted\" message".to_string(),
+        },
+        xtask::Finding {
+            path: "crates/core/src/serving.rs".to_string(),
+            line: 0,
+            rule: Rule::UnsafeCode,
+            message: "no escape hatch".to_string(),
+        },
+    ];
+    let doc = xtask::render_json(&root, &findings);
+    assert!(doc.contains("\"version\": 1"), "{doc}");
+    assert!(doc.contains("\"clean\": false"), "{doc}");
+    assert!(doc.contains("\"rule\": \"unordered-iter\""), "{doc}");
+    assert!(
+        doc.contains("\"path\": \"crates/core/src/serving.rs\""),
+        "{doc}"
+    );
+    assert!(doc.contains("\"line\": 1"), "{doc}");
+    assert!(
+        doc.contains("demo \\\"quoted\\\" message"),
+        "quotes are escaped: {doc}"
+    );
+    // Line 1 of serving.rs is a doc comment — the snippet is re-read from
+    // the real file, not invented.
+    assert!(doc.contains("\"snippet\": \"//!"), "{doc}");
+    assert!(
+        doc.contains("\"allow_candidate\": \"// lint: allow(unordered-iter) — <reason>\""),
+        "{doc}"
+    );
+    // Unallowable rules and line-0 findings degrade to null, not garbage.
+    assert!(doc.contains("\"allow_candidate\": null"), "{doc}");
+    assert!(doc.contains("\"snippet\": null"), "{doc}");
+    // An empty report is explicit about being clean.
+    let clean = xtask::render_json(&root, &[]);
+    assert!(clean.contains("\"clean\": true"), "{clean}");
+    assert!(clean.contains("\"findings\": []"), "{clean}");
 }
 
 #[test]
